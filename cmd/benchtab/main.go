@@ -1,0 +1,123 @@
+// Command benchtab regenerates every table, figure and in-text result
+// of the paper's evaluation and prints the measured (virtual-time)
+// values side by side with the paper's numbers.
+//
+// Usage:
+//
+//	benchtab                     # whole suite at the default 1/64 scale
+//	benchtab -shift 0 -trials 30 # the paper's full input sizes and repetitions (slow)
+//	benchtab -experiment table3  # a single experiment
+//
+// Experiments: table1, table2, calibration, packets, table3, speedups,
+// figure1, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsort/internal/experiments"
+)
+
+func main() {
+	var (
+		shift  = flag.Uint("shift", 6, "right-shift applied to the paper's input sizes (0 = full scale)")
+		trials = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
+		onDisk = flag.Bool("ondisk", false, "use real temporary directories for node disks")
+		tmp    = flag.String("tmpdir", "", "root directory for -ondisk")
+		which  = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, all")
+		seed   = flag.Int64("seed", 1, "base input seed")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		SizeShift: *shift,
+		Trials:    *trials,
+		OnDisk:    *onDisk,
+		TempDir:   *tmp,
+		Seed:      *seed,
+	}
+	fmt.Printf("hetsort benchtab: size shift 2^-%d, %d trials per point\n\n", *shift, *trials)
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(experiments.Table1String(experiments.Table1(o)))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table2String(rows))
+		return nil
+	})
+	run("calibration", func() error {
+		cal, err := experiments.Calibrate(o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Calibration (paper section 5 protocol):\n  per-node times: %.3f s\n  derived perf vector: %v (paper: [1 1 4 4])\n",
+			cal.Times, cal.Vector)
+		return nil
+	})
+	run("packets", func() error {
+		rows, err := experiments.RunPacketSweep(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.PacketSweepString(rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table3String(rows))
+		return nil
+	})
+	run("speedups", func() error {
+		s, err := experiments.ComputeSpeedups(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.String())
+		return nil
+	})
+	run("figure1", func() error {
+		rows, err := experiments.Figure1PDM(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Figure1String(rows))
+		return nil
+	})
+	run("distributions", func() error {
+		rows, err := experiments.DistributionSweep(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.DistributionSweepString(rows))
+		return nil
+	})
+	run("ablations", func() error {
+		rows, err := experiments.Ablations(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationsString(rows))
+		return nil
+	})
+}

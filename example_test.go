@@ -1,0 +1,54 @@
+package hetsort_test
+
+import (
+	"fmt"
+
+	"hetsort"
+)
+
+// ExampleSort sorts a small reversed sequence on a 2-node cluster.
+func ExampleSort() {
+	keys := []hetsort.Key{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	sorted, _, err := hetsort.Sort(keys, hetsort.Config{
+		Nodes: 2, MemoryKeys: 64, BlockKeys: 4, Tapes: 3, MessageKeys: 8,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sorted)
+	// Output: [0 1 2 3 4 5 6 7 8 9]
+}
+
+// ExampleValidSize rounds a desired input size up to the nearest size
+// the perf vector divides exactly — the paper's Equation-2 practice.
+func ExampleValidSize() {
+	n, _ := hetsort.ValidSize([]int{1, 1, 4, 4}, 1<<24)
+	fmt.Println(n)
+	// Output: 16777220
+}
+
+// ExampleParsePerf parses the CLI form of a perf vector.
+func ExampleParsePerf() {
+	v, _ := hetsort.ParsePerf("1,1,4,4")
+	fmt.Println(v)
+	// Output: [1 1 4 4]
+}
+
+// ExampleCalibrate recovers the perf vector of a cluster with two
+// nodes loaded 4x.
+func ExampleCalibrate() {
+	vec, _, err := hetsort.Calibrate(hetsort.Config{
+		Nodes:      4,
+		Loads:      []float64{4, 4, 1, 1},
+		MemoryKeys: 2048,
+		BlockKeys:  64,
+		Tapes:      4,
+	}, 8192)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(vec)
+	// Output: [1 1 4 4]
+}

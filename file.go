@@ -1,0 +1,135 @@
+package hetsort
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/record"
+)
+
+// SortFile sorts a host file of little-endian uint32 values into
+// outputPath using the configured cluster.  The input is streamed onto
+// the node disks in perf-proportional contiguous portions, Algorithm 1
+// runs, and the nodes' sorted partitions are concatenated in rank order
+// into the output file.  When cfg.WorkDir is empty the node disks live
+// in memory, so the input must fit in RAM; set WorkDir for genuinely
+// out-of-core runs.
+func SortFile(inputPath, outputPath string, cfg Config) (*Report, error) {
+	v, err := cfg.vector()
+	if err != nil {
+		return nil, err
+	}
+	c, tl, err := cfg.newCluster(v)
+	if err != nil {
+		return nil, err
+	}
+	block := cfg.blockKeys()
+
+	in, err := os.Open(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	st, err := in.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%record.KeySize != 0 {
+		return nil, fmt.Errorf("hetsort: input size %d is not a multiple of %d bytes", st.Size(), record.KeySize)
+	}
+	total := st.Size() / record.KeySize
+	shares := v.Shares(total)
+
+	// Stream each node's contiguous portion onto its disk, folding the
+	// checksum as we go.
+	var want record.Checksum
+	br := bufio.NewReaderSize(in, 1<<20)
+	keyBuf := make([]record.Key, block)
+	byteBuf := make([]byte, block*record.KeySize)
+	for i := 0; i < c.P(); i++ {
+		f, err := c.Node(i).FS().Create("input")
+		if err != nil {
+			return nil, err
+		}
+		w := diskio.NewWriter(f, block, diskio.Accounting{})
+		remaining := shares[i]
+		for remaining > 0 {
+			chunk := int64(block)
+			if chunk > remaining {
+				chunk = remaining
+			}
+			bb := byteBuf[:chunk*record.KeySize]
+			if _, err := io.ReadFull(br, bb); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("hetsort: reading input: %w", err)
+			}
+			keys := record.DecodeKeys(keyBuf[:0], bb)
+			want.Update(keys)
+			if err := w.WriteKeys(keys); err != nil {
+				f.Close()
+				return nil, err
+			}
+			remaining -= chunk
+		}
+		if err := w.Close(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := cfg.sortOnCluster(c, v, want)
+	if err != nil {
+		return nil, err
+	}
+
+	// Concatenate the sorted partitions into the host output.
+	out, err := os.Create(outputPath)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	for i := 0; i < c.P(); i++ {
+		f, err := c.Node(i).FS().Open("output")
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		r := diskio.NewReader(f, block, diskio.Accounting{})
+		for {
+			n, rerr := r.ReadKeys(keyBuf)
+			if n > 0 {
+				bb := record.EncodeKeys(byteBuf[:0], keyBuf[:n])
+				if _, werr := bw.Write(bb); werr != nil {
+					f.Close()
+					out.Close()
+					return nil, werr
+				}
+			}
+			if rerr == io.EOF || n == 0 {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				out.Close()
+				return nil, rerr
+			}
+		}
+		if err := f.Close(); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return nil, err
+	}
+	rep := newReport(res, v)
+	rep.attachTrace(tl)
+	return rep, out.Close()
+}

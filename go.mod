@@ -1,0 +1,3 @@
+module hetsort
+
+go 1.22

@@ -1,0 +1,405 @@
+// Package hetsort is an out-of-core parallel sorting library for
+// clusters whose processors run at different speeds, reproducing
+// C. Cérin, "An Out-of-Core Sorting Algorithm for Clusters with
+// Processors at Different Speed" (IPPS 2002).
+//
+// The library sorts 32-bit unsigned integers that do not fit in memory
+// by running external PSRS (Parallel Sorting by Regular Sampling over
+// polyphase merge sort) across a simulated cluster: one goroutine per
+// node, a private disk per node (in-memory or directory-backed), a
+// latency/bandwidth network model, and deterministic virtual time.
+// Heterogeneity is expressed as the paper's perf vector: perf[i] is the
+// relative speed of node i, and node i receives perf[i]/Σperf of the
+// data, ending — by the PSRS theorem — with no more than twice that
+// share after sorting.
+//
+// Quick use:
+//
+//	sorted, report, err := hetsort.Sort(keys, hetsort.Config{Perf: []int{1, 1, 4, 4}})
+//
+// For disk-resident data, see SortFile; for reproducing the paper's
+// evaluation, see cmd/benchtab.
+package hetsort
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/dewitt"
+	"hetsort/internal/diskio"
+	"hetsort/internal/extsort"
+	"hetsort/internal/perf"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/record"
+	"hetsort/internal/trace"
+)
+
+// Key is the record type the library sorts: a 32-bit unsigned integer,
+// 4 bytes on disk, exactly the paper's data items.
+type Key = uint32
+
+// Network names accepted by Config.Network.
+const (
+	NetworkFastEthernet = "fast-ethernet" // the paper's default interconnect
+	NetworkMyrinet      = "myrinet"       // the paper's second interconnect
+	NetworkIdeal        = "ideal"         // zero-cost network
+)
+
+// Run-formation names accepted by Config.RunFormation.
+const (
+	RunReplacementSelection = "replacement-selection"
+	RunLoadSort             = "load-sort"
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	// AlgorithmExternalPSRS is the paper's Algorithm 1 (default).
+	AlgorithmExternalPSRS = "external-psrs"
+	// AlgorithmDeWitt is the randomized two-step distribution sort of
+	// DeWitt, Naughton & Schneider (PDIS 1991), the prior work the
+	// paper's section 2 identifies as closest in spirit.  It skips the
+	// up-front external sort (fewer I/Os) but balances load only as
+	// well as its random sample.
+	AlgorithmDeWitt = "dewitt"
+)
+
+// Pivot-strategy names accepted by Config.PivotStrategy.
+const (
+	// PivotRegularSampling is the paper's Algorithm 1 (default).
+	PivotRegularSampling = "regular-sampling"
+	// PivotOverpartitioning is the Li & Sevcik scheme adapted to
+	// heterogeneous clusters (the paper's Cluster-2000 companion).
+	PivotOverpartitioning = "overpartitioning"
+	// PivotRandom picks pivots from unstructured random samples (the
+	// strawman the regular-position discipline improves on).
+	PivotRandom = "random-pivots"
+	// PivotQuantileSketch answers the pivot quantiles from merged
+	// ε-approximate sketches (the variant of the paper's reference
+	// [29]): one extra read pass, grid-free balance.
+	PivotQuantileSketch = "quantile-sketch"
+)
+
+// Config parameterises a sort.  The zero value is a valid homogeneous
+// 4-node configuration with the paper's parameters (8 KiB blocks, 15
+// intermediate files, 8K-integer messages, Fast Ethernet).
+type Config struct {
+	// Perf is the performance vector: one positive integer per node,
+	// larger = faster (e.g. {1,1,4,4} for two nodes four times
+	// faster).  Empty means Nodes homogeneous nodes.
+	Perf []int
+	// Nodes is the cluster size when Perf is empty (default 4).
+	Nodes int
+	// BlockKeys is the disk block size B in keys (default 2048).
+	BlockKeys int
+	// MemoryKeys is each node's internal memory M in keys (default 65536).
+	MemoryKeys int
+	// Tapes is the polyphase merge file count (default 15).
+	Tapes int
+	// MessageKeys is the redistribution message size in keys (default 8192).
+	MessageKeys int
+	// Network selects the interconnect model by name (default
+	// NetworkFastEthernet).
+	Network string
+	// RunFormation selects the initial run former by name (default
+	// RunReplacementSelection).
+	RunFormation string
+	// Algorithm selects the sorting algorithm by name (default
+	// AlgorithmExternalPSRS).
+	Algorithm string
+	// PivotStrategy selects the step-2 pivot scheme by name (default
+	// PivotRegularSampling); only meaningful for AlgorithmExternalPSRS.
+	PivotStrategy string
+	// QuantileEps is the sketch error bound when PivotStrategy is
+	// PivotQuantileSketch (default 0.01).
+	QuantileEps float64
+	// WorkDir, when non-empty, backs each node's disk with a real
+	// directory WorkDir/node<i> instead of an in-memory filesystem.
+	WorkDir string
+	// Loads optionally overrides the simulated slowdown of each node
+	// (>= 1).  By default the loads are derived from Perf, modelling
+	// the paper's cluster where the perf vector reflects real machine
+	// load.  Setting Loads decouples the machine from the perf vector
+	// — e.g. to measure a mis-calibrated vector.
+	Loads []float64
+	// Seed feeds input generation in the convenience helpers.
+	Seed int64
+	// Trace, when true, records a virtual-time event trace of the run
+	// into Report.Timeline and Report.Gantt.
+	Trace bool
+}
+
+func (c Config) vector() (perf.Vector, error) {
+	if len(c.Perf) > 0 {
+		v := perf.Vector(c.Perf)
+		return v, v.Validate()
+	}
+	n := c.Nodes
+	if n <= 0 {
+		n = 4
+	}
+	return perf.Homogeneous(n), nil
+}
+
+func (c Config) network() (cluster.NetModel, error) {
+	switch c.Network {
+	case "", NetworkFastEthernet:
+		return cluster.FastEthernet(), nil
+	case NetworkMyrinet:
+		return cluster.Myrinet(), nil
+	case NetworkIdeal:
+		return cluster.Ideal(), nil
+	default:
+		return cluster.NetModel{}, fmt.Errorf("hetsort: unknown network %q", c.Network)
+	}
+}
+
+func (c Config) runFormation() (polyphase.RunFormation, error) {
+	switch c.RunFormation {
+	case "", RunReplacementSelection:
+		return polyphase.ReplacementSelection, nil
+	case RunLoadSort:
+		return polyphase.LoadSort, nil
+	default:
+		return 0, fmt.Errorf("hetsort: unknown run formation %q", c.RunFormation)
+	}
+}
+
+func (c Config) blockKeys() int {
+	if c.BlockKeys > 0 {
+		return c.BlockKeys
+	}
+	return 2048
+}
+
+// newCluster assembles the simulated machine for this configuration,
+// returning the optional trace log alongside it.
+func (c Config) newCluster(v perf.Vector) (*cluster.Cluster, *trace.Log, error) {
+	net, err := c.network()
+	if err != nil {
+		return nil, nil, err
+	}
+	var tl *trace.Log
+	if c.Trace {
+		tl = new(trace.Log)
+	}
+	loads := c.Loads
+	if loads == nil {
+		loads = v.Slowdowns()
+	}
+	if len(loads) != len(v) {
+		return nil, nil, fmt.Errorf("hetsort: %d loads for %d nodes", len(loads), len(v))
+	}
+	var disks func(int) diskio.FS
+	if c.WorkDir != "" {
+		var derr error
+		disks = func(id int) diskio.FS {
+			fs, e := diskio.NewDirFS(fmt.Sprintf("%s/node%d", c.WorkDir, id))
+			if e != nil {
+				derr = e
+				return diskio.NewMemFS()
+			}
+			return fs
+		}
+		defer func() { _ = derr }()
+	}
+	cl, err := cluster.New(cluster.Config{
+		Slowdowns: loads,
+		Net:       net,
+		BlockKeys: c.blockKeys(),
+		Disks:     disks,
+		Trace:     tl,
+	})
+	return cl, tl, err
+}
+
+func (c Config) pivotStrategy() (extsort.Strategy, error) {
+	switch c.PivotStrategy {
+	case "", PivotRegularSampling:
+		return extsort.RegularSampling, nil
+	case PivotOverpartitioning:
+		return extsort.Overpartitioning, nil
+	case PivotRandom:
+		return extsort.RandomPivots, nil
+	case PivotQuantileSketch:
+		return extsort.QuantileSketch, nil
+	default:
+		return 0, fmt.Errorf("hetsort: unknown pivot strategy %q", c.PivotStrategy)
+	}
+}
+
+func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
+	rf, err := c.runFormation()
+	if err != nil {
+		return extsort.Config{}, err
+	}
+	strat, err := c.pivotStrategy()
+	if err != nil {
+		return extsort.Config{}, err
+	}
+	return extsort.Config{
+		Perf:         v,
+		BlockKeys:    c.blockKeys(),
+		MemoryKeys:   c.MemoryKeys,
+		Tapes:        c.Tapes,
+		MessageKeys:  c.MessageKeys,
+		RunFormation: rf,
+		Strategy:     strat,
+		QuantileEps:  c.QuantileEps,
+		Seed:         c.Seed,
+	}, nil
+}
+
+// Sort sorts keys out of core on the configured simulated cluster and
+// returns the sorted copy plus a Report.  The input slice is not
+// modified.  Data still flows through real (node-private) files in
+// blocks; only the orchestration is in-process.
+func Sort(keys []Key, cfg Config) ([]Key, *Report, error) {
+	v, err := cfg.vector()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, tl, err := cfg.newCluster(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Distribute perf-proportional portions onto the node disks.
+	shares := v.Shares(int64(len(keys)))
+	var off int64
+	for i := 0; i < c.P(); i++ {
+		portion := keys[off : off+shares[i]]
+		off += shares[i]
+		if err := diskio.WriteFile(c.Node(i).FS(), "input", portion, cfg.blockKeys(), diskio.Accounting{}); err != nil {
+			return nil, nil, err
+		}
+	}
+	want := record.ChecksumOf(keys)
+
+	res, err := cfg.sortOnCluster(c, v, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Key, 0, len(keys))
+	for i := 0; i < c.P(); i++ {
+		part, err := diskio.ReadFileAll(c.Node(i).FS(), "output", cfg.blockKeys(), diskio.Accounting{})
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, part...)
+	}
+	rep := newReport(res, v)
+	rep.attachTrace(tl)
+	return out, rep, nil
+}
+
+// sortOnCluster runs the selected algorithm on an already-loaded
+// cluster (every node holds "input") and verifies the "output" files
+// against the expected checksum.  The result is normalised to an
+// extsort.Result (the DeWitt baseline reports no per-step breakdown).
+func (c Config) sortOnCluster(cl *cluster.Cluster, v perf.Vector, want record.Checksum) (*extsort.Result, error) {
+	switch c.Algorithm {
+	case "", AlgorithmExternalPSRS:
+		ecfg, err := c.extsortConfig(v)
+		if err != nil {
+			return nil, err
+		}
+		res, err := extsort.Sort(cl, ecfg, "input", "output")
+		if err != nil {
+			return nil, err
+		}
+		if err := extsort.VerifyOutput(cl, "output", c.blockKeys(), want); err != nil {
+			return nil, err
+		}
+		return res, nil
+	case AlgorithmDeWitt:
+		res, err := dewitt.Sort(cl, dewitt.Config{
+			Perf:        v,
+			BlockKeys:   c.blockKeys(),
+			MemoryKeys:  c.MemoryKeys,
+			Tapes:       c.Tapes,
+			MessageKeys: c.MessageKeys,
+			Seed:        c.Seed,
+		}, "input", "output")
+		if err != nil {
+			return nil, err
+		}
+		if err := extsort.VerifyOutput(cl, "output", c.blockKeys(), want); err != nil {
+			return nil, err
+		}
+		return &extsort.Result{
+			Time:           res.Time,
+			NodeClocks:     res.NodeClocks,
+			PartitionSizes: res.PartitionSizes,
+			NodeIO:         res.NodeIO,
+			Pivots:         res.Splitters,
+		}, nil
+	default:
+		return nil, fmt.Errorf("hetsort: unknown algorithm %q", c.Algorithm)
+	}
+}
+
+// Calibrate runs the paper's protocol for filling the perf vector on
+// the configured cluster: each node externally sorts perNodeKeys keys;
+// the ratios of the slowest time to each node's time become the vector.
+// Config.Loads (or the perf-derived defaults) determine the machine
+// being calibrated.
+func Calibrate(cfg Config, perNodeKeys int64) ([]int, []float64, error) {
+	if perNodeKeys <= 0 {
+		return nil, nil, errors.New("hetsort: perNodeKeys must be positive")
+	}
+	v, err := cfg.vector()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, tl, err := cfg.newCluster(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = tl
+	ecfg, err := cfg.extsortConfig(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	ecfg.ApplyDefaults(c.P())
+	for i := 0; i < c.P(); i++ {
+		keys := record.Uniform.Generate(int(perNodeKeys), cfg.Seed+int64(i), 1)
+		if err := diskio.WriteFile(c.Node(i).FS(), "calinput", keys, cfg.blockKeys(), diskio.Accounting{}); err != nil {
+			return nil, nil, err
+		}
+	}
+	err = c.Run(func(n *cluster.Node) error {
+		pcfg := polyphase.Config{
+			FS:         n.FS(),
+			BlockKeys:  ecfg.BlockKeys,
+			MemoryKeys: ecfg.MemoryKeys,
+			Tapes:      ecfg.Tapes,
+			Acct:       n.Acct(),
+			TempPrefix: "cal.",
+		}
+		_, serr := polyphase.Sort(pcfg, "calinput", "caloutput")
+		return serr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	times := make([]float64, c.P())
+	for i := range times {
+		times[i] = c.Node(i).Clock()
+	}
+	vec, err := perf.FromTimes(times)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []int(vec), times, nil
+}
+
+// ValidSize rounds n up to the nearest input size for which the perf
+// vector divides the data exactly (the paper's Equation-2 practice —
+// e.g. {1,1,4,4} turns 2^24 into 16777220).
+func ValidSize(perfVector []int, n int64) (int64, error) {
+	v := perf.Vector(perfVector)
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	return v.NearestValidSize(n), nil
+}

@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+	"hetsort/internal/trace"
+	"hetsort/internal/vtime"
+)
+
+// message is one point-to-point transfer.  Payloads are copied on send,
+// so the sender may reuse its buffer.
+type message struct {
+	tag     int
+	keys    []record.Key
+	arrival float64 // virtual time at which the message reaches the receiver
+	remote  bool    // false for self-sends, which are free
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	// Slowdowns has one entry per node: the factor by which the
+	// node's local work is slower than the fastest class (>= 1).
+	// {1,1,4,4} models the paper's cluster with two loaded nodes.
+	Slowdowns []float64
+	// Net is the interconnect model (default FastEthernet).
+	Net NetModel
+	// Cost converts work units to virtual seconds (default
+	// vtime.DefaultCostModel).
+	Cost vtime.CostModel
+	// BlockKeys is the disk block size B in keys, used to price block
+	// transfers (default 2048 keys = 8 KiB).
+	BlockKeys int
+	// Disks returns the private filesystem of node id.  Default: a
+	// fresh MemFS per node.
+	Disks func(id int) diskio.FS
+	// DisksPerNode is the PDM D parameter per node: with D
+	// independent drives a block transfer overlaps D ways, so the
+	// virtual time per block divides by D while the I/O *count* (the
+	// PDM complexity measure) is unchanged.  Default 1, the paper's
+	// configuration ("we have one disk attached per processor").
+	DisksPerNode int
+	// LinkBuffer is the per-link message queue capacity (default
+	// 1<<17 messages).  The sorts' send-all-then-receive-all exchange
+	// can queue a whole segment per link, so the default accommodates
+	// the paper's full 2^24-key runs even at the 8-integer message
+	// size of the packet sweep; the in-flight *data* volume is bounded
+	// by the dataset either way.
+	LinkBuffer int
+	// Trace, when non-nil, receives message and phase events with
+	// virtual timestamps.
+	Trace *trace.Log
+}
+
+// Cluster is a simulated machine of P nodes.
+type Cluster struct {
+	nodes []*Node
+	net   NetModel
+	trace *trace.Log
+	links [][]chan message // links[from][to]
+
+	abort     chan struct{} // closed when any node fails during Run
+	abortOnce *sync.Once
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	p := len(cfg.Slowdowns)
+	if p == 0 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	for i, s := range cfg.Slowdowns {
+		if s < 1 {
+			return nil, fmt.Errorf("cluster: slowdown[%d]=%v must be >= 1", i, s)
+		}
+	}
+	if cfg.Net == (NetModel{}) {
+		cfg.Net = FastEthernet()
+	}
+	if cfg.Cost == (vtime.CostModel{}) {
+		cfg.Cost = vtime.DefaultCostModel()
+	}
+	if cfg.BlockKeys <= 0 {
+		cfg.BlockKeys = 2048
+	}
+	if cfg.Disks == nil {
+		cfg.Disks = func(int) diskio.FS { return diskio.NewMemFS() }
+	}
+	if cfg.LinkBuffer <= 0 {
+		cfg.LinkBuffer = 1 << 17
+	}
+	if cfg.DisksPerNode <= 0 {
+		cfg.DisksPerNode = 1
+	}
+	c := &Cluster{net: cfg.Net, trace: cfg.Trace}
+	c.links = make([][]chan message, p)
+	for i := range c.links {
+		c.links[i] = make([]chan message, p)
+		for j := range c.links[i] {
+			c.links[i][j] = make(chan message, cfg.LinkBuffer)
+		}
+	}
+	c.nodes = make([]*Node, p)
+	for i := 0; i < p; i++ {
+		c.nodes[i] = &Node{
+			id:       i,
+			cluster:  c,
+			slowdown: cfg.Slowdowns[i],
+			cost:     cfg.Cost,
+			block:    cfg.BlockKeys,
+			disks:    cfg.DisksPerNode,
+			fs:       cfg.Disks(i),
+		}
+	}
+	return c, nil
+}
+
+// P returns the number of nodes.
+func (c *Cluster) P() int { return len(c.nodes) }
+
+// Node returns node id (for inspection after a run).
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Net returns the interconnect model.
+func (c *Cluster) Net() NetModel { return c.net }
+
+// MaxClock returns the makespan: the maximum node clock, i.e. the
+// virtual execution time of the last parallel section run.
+func (c *Cluster) MaxClock() float64 {
+	var m float64
+	for _, n := range c.nodes {
+		if n.clock > m {
+			m = n.clock
+		}
+	}
+	return m
+}
+
+// ResetClocks zeroes every node clock and I/O counter (between
+// repetitions of an experiment).
+func (c *Cluster) ResetClocks() {
+	for _, n := range c.nodes {
+		n.clock = 0
+		n.counter.Reset()
+	}
+}
+
+// Run executes fn concurrently on every node and waits for all to
+// finish.  Errors from all nodes are joined; the virtual clocks remain
+// readable afterwards.
+func (c *Cluster) Run(fn func(*Node) error) error {
+	errs := make([]error, len(c.nodes))
+	c.abort = make(chan struct{})
+	c.abortOnce = new(sync.Once)
+	// Drain any messages a previous aborted run left in the links, so
+	// the cluster is reusable after a failure.
+	for i := range c.links {
+		for j := range c.links[i] {
+			for len(c.links[i][j]) > 0 {
+				<-c.links[i][j]
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+				}
+				if errs[i] != nil {
+					// Unblock peers waiting on this node forever.
+					c.abortOnce.Do(func() { close(c.abort) })
+				}
+			}()
+			errs[i] = fn(n)
+		}(i, n)
+	}
+	wg.Wait()
+	var nonNil []string
+	for i, err := range errs {
+		if err != nil {
+			nonNil = append(nonNil, fmt.Sprintf("node %d: %v", i, err))
+		}
+	}
+	if nonNil != nil {
+		return errors.New("cluster: " + strings.Join(nonNil, "; "))
+	}
+	return nil
+}
+
+// Node is one simulated machine: processor + private disk + clock.
+// A Node's methods must only be called from the goroutine running it
+// inside Cluster.Run (except the read-only inspection methods, which are
+// safe once Run has returned).
+type Node struct {
+	id       int
+	cluster  *Cluster
+	slowdown float64
+	cost     vtime.CostModel
+	block    int
+	disks    int
+	fs       diskio.FS
+	clock    float64
+	counter  pdm.Counter
+}
+
+// ID returns the node's rank in [0, P).
+func (n *Node) ID() int { return n.id }
+
+// P returns the cluster size.
+func (n *Node) P() int { return len(n.cluster.nodes) }
+
+// FS returns the node's private disk.
+func (n *Node) FS() diskio.FS { return n.fs }
+
+// Slowdown returns the node's load factor (1 = fastest class).
+func (n *Node) Slowdown() float64 { return n.slowdown }
+
+// Clock returns the node's virtual time in seconds.
+func (n *Node) Clock() float64 { return n.clock }
+
+// AdvanceClock adds dt virtual seconds of unscaled time (used for fixed
+// protocol overheads).
+func (n *Node) AdvanceClock(dt float64) { n.clock += dt }
+
+// Counter returns the node's PDM I/O counter.
+func (n *Node) Counter() *pdm.Counter { return &n.counter }
+
+// IOStats returns a snapshot of the node's I/O counter.
+func (n *Node) IOStats() pdm.IOStats { return n.counter.Snapshot() }
+
+// Acct returns the accounting handle (counter + meter) to pass to the
+// disk layer and the sorts.
+func (n *Node) Acct() diskio.Accounting {
+	return diskio.Accounting{Counter: &n.counter, Meter: n}
+}
+
+// ChargeCompute implements vtime.Meter.
+func (n *Node) ChargeCompute(ops int64) {
+	n.clock += float64(ops) * n.cost.ComputeSec * n.slowdown
+}
+
+// Disks returns the node's PDM D parameter.
+func (n *Node) Disks() int { return n.disks }
+
+// ChargeIOBlocks implements vtime.Meter.  With D independent disks the
+// transfer time divides by D (the PDM's parallel I/O step).
+func (n *Node) ChargeIOBlocks(blocks int64) {
+	n.clock += float64(blocks) * float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown / float64(n.disks)
+}
+
+// ChargeSeek implements vtime.Meter.
+func (n *Node) ChargeSeek(seeks int64) {
+	n.clock += float64(seeks) * n.cost.SeekSec * n.slowdown
+}
+
+// Send transfers keys to node `to` with the given tag.  The payload is
+// copied.  The sender's clock advances by the transmit occupancy
+// (size/bandwidth); the message arrives at sender-completion + latency.
+// Sending to self is a cheap local enqueue with no network cost.
+func (n *Node) Send(to, tag int, keys []record.Key) error {
+	if to < 0 || to >= n.P() {
+		return fmt.Errorf("cluster: node %d sending to invalid rank %d", n.id, to)
+	}
+	payload := append([]record.Key(nil), keys...)
+	var arrival float64
+	remote := to != n.id
+	if !remote {
+		arrival = n.clock
+	} else {
+		// The sender pays the per-message software overhead (one
+		// latency's worth of protocol processing, as in LogP's "o")
+		// plus the transmit occupancy; the wire adds another latency
+		// before arrival.  This is what makes tiny messages expensive
+		// and reproduces the paper's 8-int vs 8K-int packet finding.
+		bytes := int64(len(keys)) * record.KeySize
+		occupancy := n.cluster.net.LatencySec
+		if n.cluster.net.BytesPerSec > 0 {
+			occupancy += float64(bytes) / n.cluster.net.BytesPerSec
+		}
+		n.clock += occupancy
+		arrival = n.clock + n.cluster.net.LatencySec
+	}
+	select {
+	case n.cluster.links[n.id][to] <- message{tag: tag, keys: payload, arrival: arrival, remote: remote}:
+		if tl := n.cluster.trace; tl != nil {
+			tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.MessageSent,
+				Label: fmt.Sprintf("tag%d", tag), Detail: fmt.Sprintf("to:%d keys:%d", to, len(keys))})
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: link %d->%d full (deadlock-prone receive order?)", n.id, to)
+	}
+}
+
+// Recv receives the next message from node `from`, asserting its tag.
+// It blocks until the message is available and advances the receiver's
+// clock to at least the message's arrival time.  Receives are
+// deterministic: callers name the peer, and per-link delivery is FIFO.
+func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
+	if from < 0 || from >= n.P() {
+		return nil, fmt.Errorf("cluster: node %d receiving from invalid rank %d", n.id, from)
+	}
+	var msg message
+	select {
+	case msg = <-n.cluster.links[from][n.id]:
+	default:
+		// Slow path: block on the message or on a cluster abort (a
+		// peer failed and will never send).
+		select {
+		case msg = <-n.cluster.links[from][n.id]:
+		case <-n.cluster.abort:
+			return nil, fmt.Errorf("cluster: node %d receive from %d aborted (peer failed)", n.id, from)
+		}
+	}
+	if msg.tag != wantTag {
+		return nil, fmt.Errorf("cluster: node %d expected tag %d from %d, got %d",
+			n.id, wantTag, from, msg.tag)
+	}
+	if msg.arrival > n.clock {
+		n.clock = msg.arrival
+	}
+	if msg.remote {
+		// Receive-side protocol processing.
+		n.clock += n.cluster.net.LatencySec
+	}
+	if tl := n.cluster.trace; tl != nil {
+		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.MessageReceived,
+			Label: fmt.Sprintf("tag%d", wantTag), Detail: fmt.Sprintf("from:%d keys:%d", from, len(msg.keys))})
+	}
+	return msg.keys, nil
+}
+
+// TracePhase records a phase-begin event (no-op without a trace log)
+// and returns a function recording the matching phase-end.
+func (n *Node) TracePhase(label string) func() {
+	tl := n.cluster.trace
+	if tl == nil {
+		return func() {}
+	}
+	tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.PhaseBegin, Label: label})
+	return func() {
+		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.PhaseEnd, Label: label})
+	}
+}
+
+// TraceMark records a free-form annotation (no-op without a trace log).
+func (n *Node) TraceMark(label, detail string) {
+	if tl := n.cluster.trace; tl != nil {
+		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.Mark, Label: label, Detail: detail})
+	}
+}

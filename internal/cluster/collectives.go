@@ -1,0 +1,76 @@
+package cluster
+
+import "hetsort/internal/record"
+
+// Collectives built on Send/Recv.  All nodes must call the same
+// collective with consistent arguments (the usual SPMD contract).  Each
+// uses fixed peer ordering, so the virtual clocks are deterministic.
+
+// Gather sends each node's keys to root; root returns the per-node
+// slices indexed by rank (its own contribution included), others return
+// nil.
+func (n *Node) Gather(root, tag int, keys []record.Key) ([][]record.Key, error) {
+	if n.id != root {
+		return nil, n.Send(root, tag, keys)
+	}
+	out := make([][]record.Key, n.P())
+	out[root] = append([]record.Key(nil), keys...)
+	for from := 0; from < n.P(); from++ {
+		if from == root {
+			continue
+		}
+		got, err := n.Recv(from, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = got
+	}
+	return out, nil
+}
+
+// Bcast distributes keys from root to every node; every node returns
+// the broadcast payload.
+func (n *Node) Bcast(root, tag int, keys []record.Key) ([]record.Key, error) {
+	if n.id == root {
+		for to := 0; to < n.P(); to++ {
+			if to == root {
+				continue
+			}
+			if err := n.Send(to, tag, keys); err != nil {
+				return nil, err
+			}
+		}
+		return append([]record.Key(nil), keys...), nil
+	}
+	return n.Recv(root, tag)
+}
+
+// Barrier synchronises all nodes: no node returns before every node has
+// entered, and all clocks advance to at least the global maximum at
+// entry (plus the messaging cost of the synchronisation itself).
+// Implemented as a zero-payload gather to node 0 followed by a
+// broadcast.
+func (n *Node) Barrier(tag int) error {
+	if _, err := n.Gather(0, tag, nil); err != nil {
+		return err
+	}
+	_, err := n.Bcast(0, tag+1, nil)
+	return err
+}
+
+// AllGather performs a Gather to node 0 followed by a broadcast of the
+// concatenation; every node returns the same concatenated slice, in
+// rank order.
+func (n *Node) AllGather(tag int, keys []record.Key) ([]record.Key, error) {
+	parts, err := n.Gather(0, tag, keys)
+	if err != nil {
+		return nil, err
+	}
+	var flat []record.Key
+	if n.id == 0 {
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	return n.Bcast(0, tag+1, flat)
+}

@@ -1,0 +1,319 @@
+// Package dewitt implements the baseline the paper's section 2 singles
+// out as "the closest algorithm in spirit to parallel sampling
+// techniques ... for the D disk model": the randomized two-step
+// distribution sort of DeWitt, Naughton and Schneider (PDIS 1991),
+// parallel sorting on a shared-nothing architecture using probabilistic
+// splitting.
+//
+//  1. Each node draws a random sample of its *unsorted* disk-resident
+//     portion; a designated node sorts the gathered sample and selects
+//     p-1 splitters (probabilistic splitting), here at the cumulative
+//     perf quantiles so the comparison against Algorithm 1 is fair on
+//     heterogeneous clusters.
+//  2. Each node streams its portion once, routing every key to its
+//     bucket node; receivers accumulate memory-loads, sort each load
+//     in core and write it out as a small sorted run.
+//  3. Each node merge-sorts its runs externally.
+//
+// Compared with the paper's Algorithm 1 this saves the up-front full
+// external sort (one read+write pass less over the data) but pays with
+// random-sample splitters: the load balance depends on the sample
+// rather than on regular positions in sorted portions.
+package dewitt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/pdm"
+	"hetsort/internal/perf"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// Message tags.
+const (
+	tagSample = 400 + iota
+	tagSplitters
+	tagData
+	tagBarrier
+)
+
+// Config parameterises the baseline.
+type Config struct {
+	// Perf is the performance vector (all ones = the original
+	// homogeneous algorithm).
+	Perf perf.Vector
+	// BlockKeys, MemoryKeys and Tapes mirror extsort.Config.
+	BlockKeys  int
+	MemoryKeys int
+	Tapes      int
+	// MessageKeys is the routing batch size per destination.
+	MessageKeys int
+	// SampleFactor scales the per-node sample: node i draws
+	// SampleFactor*p*perf[i] random keys (default 32, the "sufficient
+	// number of random pivots" knob of the probabilistic splitting).
+	SampleFactor int
+	// Seed feeds the samplers.
+	Seed int64
+}
+
+func (c *Config) applyDefaults(p int) {
+	if len(c.Perf) == 0 {
+		c.Perf = perf.Homogeneous(p)
+	}
+	if c.BlockKeys <= 0 {
+		c.BlockKeys = 2048
+	}
+	if c.MemoryKeys <= 0 {
+		c.MemoryKeys = 1 << 16
+	}
+	if c.Tapes <= 0 {
+		c.Tapes = 15
+	}
+	if c.MessageKeys <= 0 {
+		c.MessageKeys = 8192
+	}
+	if c.SampleFactor <= 0 {
+		c.SampleFactor = 32
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	Time           float64
+	PartitionSizes []int64
+	NodeClocks     []float64
+	NodeIO         []pdm.IOStats
+	Splitters      []record.Key
+}
+
+// Sort runs the two-step distribution sort.  Every node must hold its
+// unsorted portion in inputName on its private FS; on success every
+// node holds its sorted bucket in outputName (concatenation in rank
+// order is globally sorted).
+func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result, error) {
+	p := c.P()
+	cfg.applyDefaults(p)
+	if err := cfg.Perf.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Perf) != p {
+		return nil, fmt.Errorf("dewitt: perf length %d != cluster size %d", len(cfg.Perf), p)
+	}
+	splitOut := make([][]record.Key, p)
+	err := c.Run(func(n *cluster.Node) error {
+		s, err := nodeMain(n, cfg, inputName, outputName)
+		splitOut[n.ID()] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PartitionSizes: make([]int64, p),
+		NodeClocks:     make([]float64, p),
+		NodeIO:         make([]pdm.IOStats, p),
+		Splitters:      splitOut[0],
+		Time:           c.MaxClock(),
+	}
+	for i := 0; i < p; i++ {
+		res.NodeClocks[i] = c.Node(i).Clock()
+		res.NodeIO[i] = c.Node(i).IOStats()
+		sz, err := diskio.CountKeys(c.Node(i).FS(), outputName)
+		if err != nil {
+			return nil, err
+		}
+		res.PartitionSizes[i] = sz
+	}
+	return res, nil
+}
+
+func nodeMain(n *cluster.Node, cfg Config, inputName, outputName string) ([]record.Key, error) {
+	p, id := n.P(), n.ID()
+
+	// Step 1: probabilistic splitting from random samples.
+	li, err := diskio.CountKeys(n.FS(), inputName)
+	if err != nil {
+		return nil, err
+	}
+	count := cfg.SampleFactor * p * cfg.Perf[id]
+	var samples []record.Key
+	if li > 0 && p > 1 {
+		f, err := n.FS().Open(inputName)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range sampling.RandomSampleIndices(li, count, cfg.Seed+int64(id)*977) {
+			k, rerr := diskio.ReadKeyAt(f, idx, n.Acct())
+			if rerr != nil {
+				f.Close()
+				return nil, rerr
+			}
+			samples = append(samples, k)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	gathered, err := n.Gather(0, tagSample, samples)
+	if err != nil {
+		return nil, err
+	}
+	var splitters []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(int64(len(cands)) * 16)
+		splitters, err = sampling.SelectPivotsWeighted(cands, cfg.Perf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	splitters, err = n.Bcast(0, tagSplitters, splitters)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2a: route every key to its bucket in batched messages.
+	if err := distribute(n, cfg, inputName, splitters); err != nil {
+		return nil, err
+	}
+	// Step 2b: receive and write small sorted runs.
+	runs, err := receiveRuns(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Step 3: external merge of the runs.
+	pcfg := polyphase.Config{
+		FS:         n.FS(),
+		BlockKeys:  cfg.BlockKeys,
+		MemoryKeys: cfg.MemoryKeys,
+		Tapes:      cfg.Tapes,
+		Acct:       n.Acct(),
+		TempPrefix: "dewitt.m.",
+	}
+	if err := polyphase.MergeFiles(pcfg, runs, outputName); err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		if err := n.FS().Remove(r); err != nil {
+			return nil, err
+		}
+	}
+	return splitters, nil
+}
+
+// distribute streams the input once, batching keys per destination.
+func distribute(n *cluster.Node, cfg Config, inputName string, splitters []record.Key) error {
+	p := n.P()
+	f, err := n.FS().Open(inputName)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
+	out := make([][]record.Key, p)
+	for i := range out {
+		out[i] = make([]record.Key, 0, cfg.MessageKeys)
+	}
+	buf := make([]record.Key, cfg.BlockKeys)
+	for {
+		cnt, rerr := r.ReadKeys(buf)
+		for _, k := range buf[:cnt] {
+			dst := sort.Search(len(splitters), func(j int) bool { return splitters[j] >= k })
+			out[dst] = append(out[dst], k)
+			if len(out[dst]) == cfg.MessageKeys {
+				if err := n.Send(dst, tagData, out[dst]); err != nil {
+					return err
+				}
+				out[dst] = out[dst][:0]
+			}
+		}
+		n.ChargeCompute(int64(cnt) * 3) // binary search per key
+		if rerr == io.EOF || cnt == 0 {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	for dst := 0; dst < p; dst++ {
+		if len(out[dst]) > 0 {
+			if err := n.Send(dst, tagData, out[dst]); err != nil {
+				return err
+			}
+		}
+		if err := n.Send(dst, tagData, nil); err != nil { // end of stream
+			return err
+		}
+	}
+	return nil
+}
+
+// receiveRuns drains every peer, accumulating memory loads, sorting
+// each in core and writing it as a run file.
+func receiveRuns(n *cluster.Node, cfg Config) ([]string, error) {
+	load := make([]record.Key, 0, cfg.MemoryKeys)
+	var runs []string
+	flush := func() error {
+		if len(load) == 0 {
+			return nil
+		}
+		sort.Slice(load, func(i, j int) bool { return load[i] < load[j] })
+		n.ChargeCompute(nLogN(int64(len(load))))
+		name := fmt.Sprintf("dewitt.run%d", len(runs))
+		if err := diskio.WriteFile(n.FS(), name, load, cfg.BlockKeys, n.Acct()); err != nil {
+			return err
+		}
+		runs = append(runs, name)
+		load = load[:0]
+		return nil
+	}
+	for from := 0; from < n.P(); from++ {
+		for {
+			keys, err := n.Recv(from, tagData)
+			if err != nil {
+				return nil, err
+			}
+			if len(keys) == 0 {
+				break
+			}
+			for len(keys) > 0 {
+				room := cfg.MemoryKeys - len(load)
+				take := len(keys)
+				if take > room {
+					take = room
+				}
+				load = append(load, keys[:take]...)
+				keys = keys[take:]
+				if len(load) == cfg.MemoryKeys {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+func nLogN(n int64) int64 {
+	if n <= 1 {
+		return n
+	}
+	var lg int64
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return n * lg
+}

@@ -1,0 +1,460 @@
+package diskio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+)
+
+// fsFactories lets every test run against both filesystem backends.
+func fsFactories(t *testing.T) map[string]func() FS {
+	return map[string]func() FS{
+		"mem": func() FS { return NewMemFS() },
+		"dir": func() FS {
+			d, err := NewDirFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			keys := record.Uniform.Generate(1000, 1, 1)
+			var c pdm.Counter
+			acct := Accounting{Counter: &c}
+			if err := WriteFile(fs, "a.keys", keys, 64, acct); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFileAll(fs, "a.keys", 64, acct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(keys) {
+				t.Fatalf("read %d keys want %d", len(got), len(keys))
+			}
+			for i := range keys {
+				if got[i] != keys[i] {
+					t.Fatalf("key %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestWriterBlockAccounting(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	var c pdm.Counter
+	w := NewWriter(f, 10, Accounting{Counter: &c})
+	// 25 keys at block 10 = 2 full + 1 partial = 3 block writes.
+	if err := w.WriteKeys(make([]record.Key, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Writes() != 3 {
+		t.Fatalf("writes=%d want 3", c.Writes())
+	}
+	if w.KeysWritten() != 25 {
+		t.Fatalf("KeysWritten=%d", w.KeysWritten())
+	}
+}
+
+func TestReaderBlockAccounting(t *testing.T) {
+	fs := NewMemFS()
+	var c pdm.Counter
+	acct := Accounting{Counter: &c}
+	if err := WriteFile(fs, "x", make([]record.Key, 25), 10, acct); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := ReadFileAll(fs, "x", 10, acct); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reads() != 3 {
+		t.Fatalf("reads=%d want 3", c.Reads())
+	}
+}
+
+func TestWriterEmptyClose(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	var c pdm.Counter
+	w := NewWriter(f, 8, Accounting{Counter: &c})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Writes() != 0 {
+		t.Fatal("empty writer must not write blocks")
+	}
+}
+
+func TestReadKeyByKey(t *testing.T) {
+	fs := NewMemFS()
+	keys := []record.Key{10, 20, 30}
+	if err := WriteFile(fs, "x", keys, 2, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Open("x")
+	r := NewReader(f, 2, Accounting{})
+	for _, want := range keys {
+		k, err := r.ReadKey()
+		if err != nil || k != want {
+			t.Fatalf("ReadKey=%d,%v want %d", k, err, want)
+		}
+	}
+	if _, err := r.ReadKey(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReadKeyAt(t *testing.T) {
+	fs := NewMemFS()
+	keys := []record.Key{5, 6, 7, 8, 9}
+	if err := WriteFile(fs, "x", keys, 2, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Open("x")
+	defer f.Close()
+	var c pdm.Counter
+	acct := Accounting{Counter: &c}
+	for idx, want := range []record.Key{5, 6, 7, 8, 9} {
+		k, err := ReadKeyAt(f, int64(idx), acct)
+		if err != nil || k != want {
+			t.Fatalf("ReadKeyAt(%d)=%d,%v want %d", idx, k, err, want)
+		}
+	}
+	if c.Seeks() != 5 || c.Reads() != 5 {
+		t.Fatalf("accounting: %v", c.Snapshot())
+	}
+}
+
+func TestCountKeys(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteFile(fs, "x", make([]record.Key, 123), 16, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountKeys(fs, "x")
+	if err != nil || n != 123 {
+		t.Fatalf("CountKeys=%d,%v", n, err)
+	}
+}
+
+func TestCountKeysRagged(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	if _, err := CountKeys(fs, "x"); err == nil {
+		t.Fatal("expected ragged-size error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	fs := NewMemFS()
+	i := 0
+	f := func(keys []record.Key, blockRaw uint8) bool {
+		i++
+		block := int(blockRaw%32) + 1
+		name := "prop"
+		if err := WriteFile(fs, name, keys, block, Accounting{}); err != nil {
+			return false
+		}
+		got, err := ReadFileAll(fs, name, block, Accounting{})
+		if err != nil || len(got) != len(keys) {
+			return false
+		}
+		for j := range keys {
+			if got[j] != keys[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirFSRejectsEscapingNames(t *testing.T) {
+	d, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "/abs", "../escape", "a/../../b"} {
+		if _, err := d.Create(bad); err == nil {
+			t.Errorf("Create(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDirFSSubdirectories(t *testing.T) {
+	d, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Create("node0/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1})
+	f.Close()
+	names, err := d.Names()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("Names=%v,%v", names, err)
+	}
+}
+
+func TestFSRemove(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			if err := WriteFile(fs, "x", []record.Key{1}, 4, Accounting{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Remove("x"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("x"); err == nil {
+				t.Fatal("file still present after Remove")
+			}
+		})
+	}
+}
+
+func TestMemFSOpenMissing(t *testing.T) {
+	fs := NewMemFS()
+	if _, err := fs.Open("missing"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+	if err := fs.Remove("missing"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestMemFSSeekWhence(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+		t.Fatalf("SeekStart: %d %v", pos, err)
+	}
+	if pos, err := f.Seek(2, io.SeekCurrent); err != nil || pos != 4 {
+		t.Fatalf("SeekCurrent: %d %v", pos, err)
+	}
+	if pos, err := f.Seek(-1, io.SeekEnd); err != nil || pos != 7 {
+		t.Fatalf("SeekEnd: %d %v", pos, err)
+	}
+	if _, err := f.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative seek should fail")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence should fail")
+	}
+}
+
+func TestMemFSReadOnlyOpen(t *testing.T) {
+	fs := NewMemFS()
+	WriteFile(fs, "x", []record.Key{1}, 4, Accounting{})
+	f, _ := fs.Open("x")
+	if _, err := f.Write([]byte{1}); err == nil {
+		t.Fatal("write to read-only handle should fail")
+	}
+}
+
+func TestMemFSClosedHandle(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Close()
+	if _, err := f.Write([]byte{1}); err == nil {
+		t.Fatal("write after close")
+	}
+	if _, err := f.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after close")
+	}
+	if _, err := f.Seek(0, io.SeekStart); err == nil {
+		t.Fatal("seek after close")
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMemFS()
+	WriteFile(fs, "a", make([]record.Key, 10), 4, Accounting{})
+	WriteFile(fs, "b", make([]record.Key, 5), 4, Accounting{})
+	if got := fs.TotalBytes(); got != 15*record.KeySize {
+		t.Fatalf("TotalBytes=%d", got)
+	}
+}
+
+func TestFaultFSFailsAfterBudget(t *testing.T) {
+	inner := NewMemFS()
+	ffs := NewFaultFS(inner, 3)
+	f, err := ffs.Create("x") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1}); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{2}); err != nil { // op 3
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{3}); !errors.Is(err, ErrInjected) { // op 4: fails
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, err := ffs.Open("x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("subsequent ops must keep failing")
+	}
+}
+
+func TestFaultFSNeverFailsWhenNegative(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS(), -1)
+	if err := WriteFile(ffs, "x", make([]record.Key, 100), 8, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterSurfacesInjectedFault(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS(), 1) // allow Create only
+	f, err := ffs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 2, Accounting{})
+	err = w.WriteKeys(make([]record.Key, 10))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// The writer must stay failed.
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close after failure: %v", err)
+	}
+}
+
+func TestReaderTruncatedKey(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte{1, 2, 3, 4, 5}) // 1 key + 1 stray byte
+	f.Close()
+	g, _ := fs.Open("x")
+	r := NewReader(g, 4, Accounting{})
+	_, err := r.ReadKey() // block read picks up ragged tail
+	if err == nil {
+		t.Fatal("expected truncated-key error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	fs := NewMemFS()
+	for _, n := range []string{"c", "a", "b"} {
+		WriteFile(fs, n, nil, 4, Accounting{})
+	}
+	names, err := fs.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("Names=%v", names)
+	}
+}
+
+func TestFaultFSFullInterface(t *testing.T) {
+	inner := NewMemFS()
+	WriteFile(inner, "x", []record.Key{1, 2}, 4, Accounting{})
+	ffs := NewFaultFS(inner, 100)
+	f, err := ffs.Open("x") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.Read(buf); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil { // op 3
+		t.Fatal(err)
+	}
+	if err := ffs.Rename("x", "y"); err != nil { // op 4
+		t.Fatal(err)
+	}
+	if err := ffs.Remove("y"); err != nil { // op 5
+		t.Fatal(err)
+	}
+	if names, err := ffs.Names(); err != nil || len(names) != 0 {
+		t.Fatalf("Names=%v,%v", names, err)
+	}
+	if ffs.Ops() != 5 {
+		t.Fatalf("Ops=%d", ffs.Ops())
+	}
+}
+
+func TestWriterWriteKeySingle(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	var c pdm.Counter
+	w := NewWriter(f, 2, Accounting{Counter: &c})
+	for _, k := range []record.Key{3, 1, 2} {
+		if err := w.WriteKey(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := ReadFileAll(fs, "x", 2, Accounting{})
+	if len(got) != 3 || got[0] != 3 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if c.Writes() != 2 { // 2 blocks: [3,1] and [2]
+		t.Fatalf("writes=%d", c.Writes())
+	}
+}
+
+func TestDirFSRootAndName(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != dir {
+		t.Fatalf("Root=%q", d.Root())
+	}
+	f, err := d.Create("file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Name() != "file" {
+		t.Fatalf("Name=%q", f.Name())
+	}
+}
+
+func TestNewWriterReaderPanicOnBadBlock(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	defer f.Close()
+	for _, fn := range []func(){
+		func() { NewWriter(f, 0, Accounting{}) },
+		func() { NewReader(f, -1, Accounting{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+package diskio
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel returned by FaultFS when the configured
+// operation budget is exhausted.
+var ErrInjected = errors.New("diskio: injected fault")
+
+// FaultFS wraps another FS and fails every file operation after a fixed
+// number of successful byte-level operations, for exercising error paths
+// in the sorters.  FailAfter counts Read/Write/Seek calls across all
+// files opened through the wrapper.
+type FaultFS struct {
+	Inner FS
+	// FailAfter is the number of file operations allowed before every
+	// subsequent operation returns ErrInjected.  Zero fails
+	// immediately; negative never fails.
+	FailAfter int64
+
+	ops atomic.Int64
+}
+
+// NewFaultFS wraps inner so that file operations start failing after n
+// successful ones.
+func NewFaultFS(inner FS, n int64) *FaultFS {
+	return &FaultFS{Inner: inner, FailAfter: n}
+}
+
+// Ops returns the number of operations observed so far.
+func (f *FaultFS) Ops() int64 { return f.ops.Load() }
+
+func (f *FaultFS) allow() error {
+	if f.FailAfter < 0 {
+		return nil
+	}
+	if f.ops.Add(1) > f.FailAfter {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.allow(); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.allow(); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.allow(); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldName, newName string) error {
+	if err := f.allow(); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldName, newName)
+}
+
+// Names implements FS.
+func (f *FaultFS) Names() ([]string, error) { return f.Inner.Names() }
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.allow(); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.allow(); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.fs.allow(); err != nil {
+		return 0, err
+	}
+	return f.File.Seek(offset, whence)
+}

@@ -1,0 +1,322 @@
+// Package diskio provides the block-granular disk layer under the
+// external sorts.  All reads and writes move whole blocks of B keys; the
+// layer charges a pdm.Counter (I/O complexity accounting) and a Meter
+// (virtual-time accounting for the simulated cluster) on every block.
+//
+// Files are reached through the FS interface so tests can substitute an
+// in-memory filesystem or inject faults; production code uses DirFS,
+// which stores key files under a per-node scratch directory exactly like
+// the paper's per-node /work partitions.
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the handle the sorters use: sequential read/write plus seek.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the name the file was created/opened with.
+	Name() string
+}
+
+// FS creates, reopens and removes named files.  Implementations must be
+// safe for concurrent use by different files; a single File handle is
+// confined to one goroutine.
+type FS interface {
+	// Create makes (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file for reading from the start.
+	Open(name string) (File, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically moves oldName to newName, replacing any
+	// existing file (no data blocks are moved, so no I/O is charged —
+	// the sorts use it to finalize their output tape).
+	Rename(oldName, newName string) error
+	// Names returns the existing file names in lexical order (for
+	// tests and cleanup).
+	Names() ([]string, error)
+}
+
+// DirFS is an FS rooted at a directory on the real filesystem.
+type DirFS struct {
+	root string
+}
+
+// NewDirFS returns a DirFS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskio: creating root: %w", err)
+	}
+	return &DirFS{root: dir}, nil
+}
+
+// Root returns the directory backing the filesystem.
+func (d *DirFS) Root() string { return d.root }
+
+func (d *DirFS) path(name string) (string, error) {
+	if name == "" || filepath.IsAbs(name) || name != filepath.Clean(name) ||
+		name == ".." || len(name) >= 3 && name[:3] == ".."+string(filepath.Separator) {
+		return "", fmt.Errorf("diskio: invalid file name %q", name)
+	}
+	return filepath.Join(d.root, name), nil
+}
+
+type osFile struct {
+	*os.File
+	name string
+}
+
+func (f *osFile) Name() string { return f.name }
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if dir := filepath.Dir(p); dir != d.root {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{File: f, name: name}, nil
+}
+
+// Open implements FS.
+func (d *DirFS) Open(name string) (File, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{File: f, name: name}, nil
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldName, newName string) error {
+	op, err := d.path(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := d.path(newName)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(np); dir != d.root {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.Rename(op, np)
+}
+
+// Names implements FS.
+func (d *DirFS) Names() ([]string, error) {
+	var names []string
+	err := filepath.Walk(d.root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			rel, rerr := filepath.Rel(d.root, p)
+			if rerr != nil {
+				return rerr
+			}
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MemFS is an in-memory FS for tests and fast benchmarks.  The zero
+// value is not usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*[]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*[]byte)} }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	if name == "" {
+		return nil, errors.New("diskio: empty file name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := new([]byte)
+	m.files[name] = buf
+	return &memFile{fs: m, name: name, buf: buf, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("diskio: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memFile{fs: m, name: name, buf: buf}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("diskio: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("diskio: rename %s: %w", oldName, os.ErrNotExist)
+	}
+	if newName == "" {
+		return errors.New("diskio: empty target name")
+	}
+	delete(m.files, oldName)
+	m.files[newName] = buf
+	return nil
+}
+
+// Names implements FS.
+func (m *MemFS) Names() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes returns the sum of all file sizes (for tests asserting
+// linear-space usage).
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, b := range m.files {
+		total += int64(len(*b))
+	}
+	return total
+}
+
+type memFile struct {
+	fs       *MemFS
+	name     string
+	buf      *[]byte
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.off >= int64(len(*f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, (*f.buf)[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if !f.writable {
+		return 0, errors.New("diskio: file opened read-only")
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	b := *f.buf
+	end := f.off + int64(len(p))
+	if end > int64(len(b)) {
+		nb := make([]byte, end)
+		copy(nb, b)
+		b = nb
+	}
+	copy(b[f.off:end], p)
+	*f.buf = b
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = int64(len(*f.buf))
+	default:
+		return 0, fmt.Errorf("diskio: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, errors.New("diskio: negative seek position")
+	}
+	f.off = np
+	return np, nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}

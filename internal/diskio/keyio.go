@@ -1,0 +1,286 @@
+package diskio
+
+import (
+	"fmt"
+	"io"
+
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// Accounting bundles the two sinks every block transfer reports to: the
+// PDM I/O counter (complexity accounting) and the virtual-time meter
+// (simulated-clock accounting).  Either field may be nil.
+type Accounting struct {
+	Counter *pdm.Counter
+	Meter   vtime.Meter
+}
+
+func (a Accounting) read(blocks int64) {
+	if a.Counter != nil {
+		a.Counter.AddRead(blocks)
+	}
+	if a.Meter != nil {
+		a.Meter.ChargeIOBlocks(blocks)
+	}
+}
+
+func (a Accounting) write(blocks int64) {
+	if a.Counter != nil {
+		a.Counter.AddWrite(blocks)
+	}
+	if a.Meter != nil {
+		a.Meter.ChargeIOBlocks(blocks)
+	}
+}
+
+func (a Accounting) seek(n int64) {
+	if a.Counter != nil {
+		a.Counter.AddSeek(n)
+	}
+	if a.Meter != nil {
+		a.Meter.ChargeSeek(n)
+	}
+}
+
+// Writer streams keys to a file in blocks of BlockSize keys, charging
+// the accounting sinks one block write per block (a final partial block
+// counts as one whole transfer, as in the PDM).
+type Writer struct {
+	f     File
+	acct  Accounting
+	block int // keys per block
+	buf   []byte
+	n     int   // keys buffered
+	total int64 // keys written overall
+	err   error
+}
+
+// NewWriter returns a Writer on f with the given block size in keys.
+func NewWriter(f File, blockKeys int, acct Accounting) *Writer {
+	if blockKeys <= 0 {
+		panic("diskio: block size must be positive")
+	}
+	return &Writer{
+		f:     f,
+		acct:  acct,
+		block: blockKeys,
+		buf:   make([]byte, 0, blockKeys*record.KeySize),
+	}
+}
+
+// WriteKeys appends keys to the stream.
+func (w *Writer) WriteKeys(keys []record.Key) error {
+	if w.err != nil {
+		return w.err
+	}
+	for len(keys) > 0 {
+		room := w.block - w.n
+		take := len(keys)
+		if take > room {
+			take = room
+		}
+		w.buf = record.EncodeKeys(w.buf, keys[:take])
+		w.n += take
+		w.total += int64(take)
+		keys = keys[take:]
+		if w.n == w.block {
+			if err := w.flushBlock(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteKey appends a single key.
+func (w *Writer) WriteKey(k record.Key) error {
+	return w.WriteKeys([]record.Key{k})
+}
+
+func (w *Writer) flushBlock() error {
+	if w.n == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("diskio: writing block: %w", err)
+		return w.err
+	}
+	w.acct.write(1)
+	w.buf = w.buf[:0]
+	w.n = 0
+	return nil
+}
+
+// KeysWritten returns the number of keys accepted so far.
+func (w *Writer) KeysWritten() int64 { return w.total }
+
+// Close flushes the final partial block.  It does not close the
+// underlying file handle; the caller owns it.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.flushBlock()
+}
+
+// Reader streams keys from a file in blocks of BlockSize keys, charging
+// one block read per block fetched.
+type Reader struct {
+	f     File
+	acct  Accounting
+	block int
+	buf   []byte
+	keys  []record.Key
+	pos   int
+	err   error
+}
+
+// NewReader returns a Reader on f with the given block size in keys.
+func NewReader(f File, blockKeys int, acct Accounting) *Reader {
+	if blockKeys <= 0 {
+		panic("diskio: block size must be positive")
+	}
+	return &Reader{
+		f:     f,
+		acct:  acct,
+		block: blockKeys,
+		buf:   make([]byte, blockKeys*record.KeySize),
+	}
+}
+
+func (r *Reader) fill() error {
+	if r.err != nil {
+		return r.err
+	}
+	n, err := io.ReadFull(r.f, r.buf)
+	if n > 0 {
+		if n%record.KeySize != 0 {
+			r.err = fmt.Errorf("diskio: truncated key at end of %s", r.f.Name())
+			return r.err
+		}
+		r.acct.read(1)
+		r.keys = record.DecodeKeys(r.keys[:0], r.buf[:n])
+		r.pos = 0
+		return nil
+	}
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	r.err = err
+	return err
+}
+
+// ReadKey returns the next key, or io.EOF when the stream is exhausted.
+func (r *Reader) ReadKey() (record.Key, error) {
+	if r.pos >= len(r.keys) {
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+	}
+	k := r.keys[r.pos]
+	r.pos++
+	return k, nil
+}
+
+// ReadKeys fills dst with up to len(dst) keys and returns how many were
+// read.  It returns io.EOF (with n possibly > 0 on a short final read
+// being impossible: EOF is only returned with n==0 once exhausted).
+func (r *Reader) ReadKeys(dst []record.Key) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if r.pos >= len(r.keys) {
+			if err := r.fill(); err != nil {
+				if n > 0 && err == io.EOF {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+		c := copy(dst[n:], r.keys[r.pos:])
+		r.pos += c
+		n += c
+	}
+	return n, nil
+}
+
+// ReadKeyAt reads the key at index idx (in keys) from f, charging one
+// seek and one block read.  The file position afterwards is undefined.
+// This is the access pattern of the pivot-sampling step (paper step 2).
+func ReadKeyAt(f File, idx int64, acct Accounting) (record.Key, error) {
+	if _, err := f.Seek(idx*record.KeySize, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("diskio: seek to key %d: %w", idx, err)
+	}
+	acct.seek(1)
+	var buf [record.KeySize]byte
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		return 0, fmt.Errorf("diskio: read key %d: %w", idx, err)
+	}
+	acct.read(1)
+	return record.GetKey(buf[:]), nil
+}
+
+// WriteFile creates name on fs and writes all keys to it in blocks.
+func WriteFile(fs FS, name string, keys []record.Key, blockKeys int, acct Accounting) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f, blockKeys, acct)
+	if err := w.WriteKeys(keys); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFileAll opens name on fs and reads every key.
+func ReadFileAll(fs FS, name string, blockKeys int, acct Accounting) ([]record.Key, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := NewReader(f, blockKeys, acct)
+	var out []record.Key
+	buf := make([]record.Key, blockKeys)
+	for {
+		n, err := r.ReadKeys(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// CountKeys returns the number of keys stored in name by seeking to the
+// end (no block transfers are charged; file length is metadata).
+func CountKeys(fs FS, name string) (int64, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sz, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	if sz%record.KeySize != 0 {
+		return 0, fmt.Errorf("diskio: %s has ragged size %d", name, sz)
+	}
+	return sz / record.KeySize, nil
+}

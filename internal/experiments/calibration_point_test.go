@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestFullScaleCalibrationPoint pins the virtual-time calibration: at
+// the paper's actual 2^21-integer size, a speed-1 node should land near
+// helmvige's 22.92 s and a loaded node near rossweisse's 95.40 s.
+func TestFullScaleCalibrationPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale point skipped in -short mode")
+	}
+	o := Options{Trials: 1}.withDefaults()
+	fast, err := sequentialSortTime(o, 1, 1<<21, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("speed-1 node, 2^21 keys: %.2f virtual s (paper helmvige: 22.92)", fast)
+	if fast < 15 || fast > 35 {
+		t.Fatalf("calibration drifted: %.2f s, paper 22.92 s", fast)
+	}
+	slow, err := sequentialSortTime(o, 4, 1<<21, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded node, 2^21 keys: %.2f virtual s (paper rossweisse: 95.40)", slow)
+	if r := slow / fast; r < 3.9 || r > 4.1 {
+		t.Fatalf("load ratio %.2f, expected 4", r)
+	}
+}

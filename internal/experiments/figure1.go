@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"hetsort/internal/pdm"
+	"hetsort/internal/stats"
+)
+
+// Figure 1 of the paper depicts the two PDM organisations: (a) one CPU
+// driving D disks, (b) one disk per processor — "this last organization
+// is realistic for a cluster system".  The figure itself is a diagram;
+// the quantitative content behind it is the PDM's claim that
+// independent disks retain the full Theorem-1 bound while naive
+// striping pays an extra log factor once M/(D*B) collapses.  Figure1PDM
+// regenerates that comparison as a table over D.
+
+// Figure1Row compares striped and independent access for one disk
+// count.
+type Figure1Row struct {
+	D                int64
+	StripedIOs       int64
+	IndependentIOs   int64
+	Penalty          float64
+	Organization     string
+	PracticalCluster bool // D == P, one disk per node (organisation b)
+}
+
+// Figure1PDM evaluates the PDM sorting I/Os for the paper's parameters
+// (scaled) across disk counts.
+func Figure1PDM(o Options) ([]Figure1Row, error) {
+	o = o.withDefaults()
+	n := o.scale(1 << 24)
+	var rows []Figure1Row
+	for _, d := range []int64{1, 2, 4, 8, 16, 32, 64} {
+		p := pdm.Params{
+			N: n,
+			M: int64(o.MemoryKeys),
+			B: int64(o.BlockKeys),
+			D: d,
+			P: d,
+		}
+		if p.D*p.B > p.M/2 {
+			break // beyond the PDM's D*B <= M/2 validity range
+		}
+		org := pdm.SingleCPU
+		if d > 1 {
+			org = pdm.PerProcessorDisk
+		}
+		rows = append(rows, Figure1Row{
+			D:                d,
+			StripedIOs:       p.SortIOs(pdm.Striped),
+			IndependentIOs:   p.SortIOs(pdm.Independent),
+			Penalty:          p.StripedPenalty(),
+			Organization:     org.String(),
+			PracticalCluster: d > 1,
+		})
+	}
+	return rows, nil
+}
+
+// Figure1String renders the comparison.
+func Figure1String(rows []Figure1Row) string {
+	t := &stats.Table{
+		Title:   "Figure 1 (PDM organisations): parallel I/O steps for sorting, striped vs independent disks",
+		Headers: []string{"D", "Striped", "Independent", "Penalty"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.D, r.StripedIOs, r.IndependentIOs, r.Penalty)
+	}
+	return t.String()
+}

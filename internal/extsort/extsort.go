@@ -1,0 +1,590 @@
+// Package extsort is the paper's primary contribution: Algorithm 1, a
+// PSRS scheme for external sorting on heterogeneous clusters.  Each node
+// owns a disk-resident portion sized by the perf vector; the five steps
+// are
+//
+//  1. sequential external sort of the portion (polyphase merge sort);
+//  2. regularly spaced pivot candidates read from the sorted file
+//     (perf-proportional counts), gathered on node 0, which selects and
+//     broadcasts p-1 pivots;
+//  3. partitioning of the sorted file into p contiguous segment files;
+//  4. redistribution: segment j travels to node j in fixed-size
+//     messages (a multiple of the block size);
+//  5. final merge of the p received sorted files with the external
+//     merge of step 1's sorter.
+//
+// The concatenation of the nodes' output files in rank order is the
+// globally sorted sequence, and the PSRS theorem bounds every node's
+// final load by twice its optimal share.
+package extsort
+
+import (
+	"fmt"
+	"io"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/pdm"
+	"hetsort/internal/perf"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// Message tags.
+const (
+	tagSamples = 200 + iota
+	tagPivots
+	tagData
+	tagDone
+	tagOverSizes
+	tagBarrierBase = 300 // barriers use tagBarrierBase + 2*step
+)
+
+// Step names index the per-step metrics in Result.
+var StepNames = [5]string{
+	"1:sequential-sort",
+	"2:pivot-selection",
+	"3:partitioning",
+	"4:redistribution",
+	"5:final-merge",
+}
+
+// Config parameterises Algorithm 1.
+type Config struct {
+	// Perf is the performance vector; data shares, sample counts and
+	// pivot quantiles all follow it.  All ones = homogeneous external
+	// PSRS.
+	Perf perf.Vector
+	// BlockKeys is the disk block size B in keys (default 2048 = 8 KiB).
+	BlockKeys int
+	// MemoryKeys is each node's internal memory M in keys (default 1<<16).
+	MemoryKeys int
+	// Tapes is the polyphase file count (default 15, the paper's
+	// "15 intermediate files").
+	Tapes int
+	// MessageKeys is the redistribution message size in keys (default
+	// 8192, the paper's best-performing 32 Kb packets).
+	MessageKeys int
+	// RunFormation selects the run former for step 1.
+	RunFormation polyphase.RunFormation
+	// Strategy selects the pivot scheme for step 2 (default
+	// RegularSampling, the paper's Algorithm 1).
+	Strategy Strategy
+	// OverFactor is the sublists-per-processor factor k when Strategy
+	// is Overpartitioning (default 4).
+	OverFactor int
+	// QuantileEps is the sketch error bound for QuantileSketch
+	// (default 0.01).
+	QuantileEps float64
+	// Seed feeds the random samplers of the non-regular strategies.
+	Seed int64
+	// KeepIntermediates retains segment and received files for
+	// debugging when true.
+	KeepIntermediates bool
+}
+
+// ApplyDefaults fills zero-valued fields with the paper's defaults for
+// a p-node cluster (8 KiB blocks, 2^16-key memory, 15 tapes, 8K-integer
+// messages, homogeneous perf).
+func (c *Config) ApplyDefaults(p int) { c.applyDefaults(p) }
+
+func (c *Config) applyDefaults(p int) {
+	if len(c.Perf) == 0 {
+		c.Perf = perf.Homogeneous(p)
+	}
+	if c.BlockKeys <= 0 {
+		c.BlockKeys = 2048
+	}
+	if c.MemoryKeys <= 0 {
+		c.MemoryKeys = 1 << 16
+	}
+	if c.Tapes <= 0 {
+		c.Tapes = 15
+	}
+	if c.MessageKeys <= 0 {
+		c.MessageKeys = 8192
+	}
+}
+
+// Validate checks the configuration against cluster size p.
+func (c Config) Validate(p int) error {
+	if err := c.Perf.Validate(); err != nil {
+		return err
+	}
+	if len(c.Perf) != p {
+		return fmt.Errorf("extsort: perf vector length %d != cluster size %d", len(c.Perf), p)
+	}
+	if c.Tapes < 3 {
+		return fmt.Errorf("extsort: Tapes=%d must be >= 3", c.Tapes)
+	}
+	if c.MemoryKeys < c.Tapes*c.BlockKeys {
+		return fmt.Errorf("extsort: MemoryKeys=%d < Tapes*BlockKeys=%d", c.MemoryKeys, c.Tapes*c.BlockKeys)
+	}
+	if c.MessageKeys <= 0 {
+		return fmt.Errorf("extsort: MessageKeys=%d must be positive", c.MessageKeys)
+	}
+	// The paper recommends message sizes that are multiples of the
+	// block size (step 4), but its own packet-size experiment goes down
+	// to 8-integer messages, so smaller values are permitted.
+	return nil
+}
+
+// Result reports one Algorithm-1 run.
+type Result struct {
+	// Time is the virtual makespan.
+	Time float64
+	// NodeClocks is each node's final clock.
+	NodeClocks []float64
+	// PartitionSizes is the final number of keys per node.
+	PartitionSizes []int64
+	// StepTimes[s] is the cluster-wide duration of step s (barrier to
+	// barrier, max over nodes).
+	StepTimes [5]float64
+	// NodeIO is each node's total I/O.
+	NodeIO []pdm.IOStats
+	// StepIO[s][i] is node i's I/O during step s.
+	StepIO [5][]pdm.IOStats
+	// Pivots are the broadcast pivots (diagnostics).
+	Pivots []record.Key
+}
+
+// SublistExpansion returns the Table-3 S(max) metric for the run: the
+// worst ratio of a node's final partition to its perf-optimal share.
+func (r *Result) SublistExpansion(v perf.Vector) float64 {
+	e, err := sampling.WeightedExpansion(r.PartitionSizes, v)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// MeanPartition returns the mean final partition size over the nodes
+// with the given perf value (the paper's "Mean" column reports the fast
+// nodes' mean in the heterogeneous rows).
+func (r *Result) MeanPartition(v perf.Vector, class int) float64 {
+	var sum, cnt int64
+	for i, s := range r.PartitionSizes {
+		if v[i] == class {
+			sum += s
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// MaxPartition returns the largest final partition among nodes of the
+// given perf class.
+func (r *Result) MaxPartition(v perf.Vector, class int) int64 {
+	var max int64
+	for i, s := range r.PartitionSizes {
+		if v[i] == class && s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Sort runs Algorithm 1.  Every node must already hold its portion in
+// the file inputName on its private FS; on success every node holds its
+// sorted partition in outputName.
+func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result, error) {
+	p := c.P()
+	cfg.applyDefaults(p)
+	if err := cfg.Validate(p); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		NodeClocks:     make([]float64, p),
+		PartitionSizes: make([]int64, p),
+		NodeIO:         make([]pdm.IOStats, p),
+	}
+	for s := range res.StepIO {
+		res.StepIO[s] = make([]pdm.IOStats, p)
+	}
+	stepEnds := make([][5]float64, p) // per node, clock at each barrier
+	pivotsOut := make([][]record.Key, p)
+
+	err := c.Run(func(n *cluster.Node) error {
+		w := worker{n: n, cfg: cfg, input: inputName, output: outputName}
+		return w.run(&stepEnds[n.ID()], &res.StepIO, &pivotsOut[n.ID()])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < p; i++ {
+		res.NodeClocks[i] = c.Node(i).Clock()
+		res.NodeIO[i] = c.Node(i).IOStats()
+		sz, err := diskio.CountKeys(c.Node(i).FS(), outputName)
+		if err != nil {
+			return nil, fmt.Errorf("extsort: counting node %d output: %w", i, err)
+		}
+		res.PartitionSizes[i] = sz
+	}
+	res.Time = c.MaxClock()
+	res.Pivots = pivotsOut[0]
+	// Step durations: max end over nodes, minus max previous end.
+	prev := 0.0
+	for s := 0; s < 5; s++ {
+		var end float64
+		for i := 0; i < p; i++ {
+			if stepEnds[i][s] > end {
+				end = stepEnds[i][s]
+			}
+		}
+		res.StepTimes[s] = end - prev
+		prev = end
+	}
+	return res, nil
+}
+
+// worker carries one node's state through the five steps.
+type worker struct {
+	n      *cluster.Node
+	cfg    Config
+	input  string
+	output string
+}
+
+func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *[]record.Key) error {
+	n := w.n
+	id := n.ID()
+	mark := func(step int, before pdm.IOStats) error {
+		if err := n.Barrier(tagBarrierBase + 2*step); err != nil {
+			return err
+		}
+		stepEnds[step] = n.Clock()
+		stepIO[step][id] = n.IOStats().Sub(before)
+		return nil
+	}
+
+	// Step 1: sequential external sort.
+	before := n.IOStats()
+	endPhase := n.TracePhase(StepNames[0])
+	if err := w.sequentialSort(); err != nil {
+		return fmt.Errorf("step 1 on node %d: %w", id, err)
+	}
+	endPhase()
+	if err := mark(0, before); err != nil {
+		return err
+	}
+
+	// Step 2: pivot selection.
+	before = n.IOStats()
+	endPhase = n.TracePhase(StepNames[1])
+	li, err := diskio.CountKeys(n.FS(), w.sortedName())
+	if err != nil {
+		return fmt.Errorf("step 2 on node %d: %w", id, err)
+	}
+	var pivots []record.Key
+	switch w.cfg.Strategy {
+	case RegularSampling:
+		pivots, err = w.selectPivots(li)
+	case Overpartitioning:
+		pivots, err = w.selectPivotsOver(li)
+	case RandomPivots:
+		pivots, err = w.selectPivotsRandom(li)
+	case QuantileSketch:
+		pivots, err = w.selectPivotsQuantile(li)
+	default:
+		err = fmt.Errorf("unknown strategy %d", w.cfg.Strategy)
+	}
+	if err != nil {
+		return fmt.Errorf("step 2 on node %d: %w", id, err)
+	}
+	endPhase()
+	*pivotsOut = pivots
+	if err := mark(1, before); err != nil {
+		return err
+	}
+
+	// Step 3: partitioning.
+	before = n.IOStats()
+	endPhase = n.TracePhase(StepNames[2])
+	segSizes, err := w.partition(pivots)
+	if err != nil {
+		return fmt.Errorf("step 3 on node %d: %w", id, err)
+	}
+	endPhase()
+	if err := mark(2, before); err != nil {
+		return err
+	}
+
+	// Step 4: redistribution.
+	before = n.IOStats()
+	endPhase = n.TracePhase(StepNames[3])
+	recvNames, err := w.redistribute(segSizes)
+	if err != nil {
+		return fmt.Errorf("step 4 on node %d: %w", id, err)
+	}
+	endPhase()
+	if err := mark(3, before); err != nil {
+		return err
+	}
+
+	// Step 5: final merge.
+	before = n.IOStats()
+	endPhase = n.TracePhase(StepNames[4])
+	if err := w.finalMerge(recvNames); err != nil {
+		return fmt.Errorf("step 5 on node %d: %w", id, err)
+	}
+	endPhase()
+	return mark(4, before)
+}
+
+func (w *worker) sortedName() string { return "hetsort.sorted" }
+
+func (w *worker) polyCfg(prefix string) polyphase.Config {
+	return polyphase.Config{
+		FS:           w.n.FS(),
+		BlockKeys:    w.cfg.BlockKeys,
+		MemoryKeys:   w.cfg.MemoryKeys,
+		Tapes:        w.cfg.Tapes,
+		RunFormation: w.cfg.RunFormation,
+		Acct:         w.n.Acct(),
+		TempPrefix:   prefix,
+	}
+}
+
+func (w *worker) sequentialSort() error {
+	_, err := polyphase.Sort(w.polyCfg("hetsort.s1."), w.input, w.sortedName())
+	return err
+}
+
+// selectPivots implements step 2: sample the sorted file at regular
+// positions (perf-proportional count), gather on node 0, select the
+// p-1 weighted pivots, broadcast.
+func (w *worker) selectPivots(li int64) ([]record.Key, error) {
+	n, cfg := w.n, w.cfg
+	p, id := n.P(), n.ID()
+	if p == 1 {
+		return nil, nil
+	}
+	var samples []record.Key
+	if li > 0 {
+		spacing, _, serr := sampling.HeteroSpacing(li, cfg.Perf[id], p)
+		if serr != nil {
+			// Portion too small for regular spacing: sample everything.
+			samples, serr = diskio.ReadFileAll(n.FS(), w.sortedName(), cfg.BlockKeys, n.Acct())
+			if serr != nil {
+				return nil, serr
+			}
+		} else {
+			f, err := n.FS().Open(w.sortedName())
+			if err != nil {
+				return nil, err
+			}
+			for _, idx := range sampling.RegularSampleIndices(li, spacing) {
+				k, err := diskio.ReadKeyAt(f, idx, n.Acct())
+				if err != nil {
+					f.Close()
+					return nil, err
+				}
+				samples = append(samples, k)
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	gathered, err := n.Gather(0, tagSamples, samples)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(int64(len(cands)) * 16) // in-core sort of a small sample
+		pivots, err = sampling.SelectPivotsRegular(cands, cfg.Perf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n.Bcast(0, tagPivots, pivots)
+}
+
+// partition implements step 3: one streaming pass over the sorted file,
+// splitting it into p contiguous segment files at the pivots.
+func (w *worker) partition(pivots []record.Key) ([]int64, error) {
+	n, cfg := w.n, w.cfg
+	p := n.P()
+	in, err := n.FS().Open(w.sortedName())
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	r := diskio.NewReader(in, cfg.BlockKeys, n.Acct())
+
+	sizes := make([]int64, p)
+	seg := 0
+	outFile, err := n.FS().Create(w.segName(0))
+	if err != nil {
+		return nil, err
+	}
+	out := diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+	closeSeg := func() error {
+		if err := out.Close(); err != nil {
+			return err
+		}
+		return outFile.Close()
+	}
+	buf := make([]record.Key, cfg.BlockKeys)
+	for {
+		cnt, rerr := r.ReadKeys(buf)
+		for _, k := range buf[:cnt] {
+			for seg < len(pivots) && k > pivots[seg] {
+				if err := closeSeg(); err != nil {
+					return nil, err
+				}
+				seg++
+				outFile, err = n.FS().Create(w.segName(seg))
+				if err != nil {
+					return nil, err
+				}
+				out = diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+			}
+			if err := out.WriteKey(k); err != nil {
+				return nil, err
+			}
+			sizes[seg]++
+		}
+		n.ChargeCompute(int64(cnt)) // one comparison per key against the current pivot
+		if rerr == io.EOF || cnt == 0 {
+			break
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	if err := closeSeg(); err != nil {
+		return nil, err
+	}
+	// Create the remaining (empty) segment files.
+	for s := seg + 1; s < p; s++ {
+		f, err := n.FS().Create(w.segName(s))
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if !w.cfg.KeepIntermediates {
+		if err := n.FS().Remove(w.sortedName()); err != nil {
+			return nil, err
+		}
+	}
+	return sizes, nil
+}
+
+func (w *worker) segName(j int) string  { return fmt.Sprintf("hetsort.seg%d", j) }
+func (w *worker) recvName(i int) string { return fmt.Sprintf("hetsort.recv%d", i) }
+
+// redistribute implements step 4: segment j is shipped to node j in
+// MessageKeys-sized messages; each node writes what it receives from
+// node i into a separate (sorted) file recv_i.  A zero-length sentinel
+// message terminates each stream.
+func (w *worker) redistribute(segSizes []int64) ([]string, error) {
+	n, cfg := w.n, w.cfg
+	p, id := n.P(), n.ID()
+
+	// Send loop: stream every segment out in message-sized chunks.
+	// Buffered links make the sends non-blocking, so a simple
+	// send-all-then-receive-all order cannot deadlock.
+	buf := make([]record.Key, cfg.MessageKeys)
+	for j := 0; j < p; j++ {
+		f, err := n.FS().Open(w.segName(j))
+		if err != nil {
+			return nil, err
+		}
+		r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
+		for {
+			cnt, rerr := r.ReadKeys(buf)
+			if cnt > 0 {
+				if err := n.Send(j, tagData, buf[:cnt]); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			if rerr == io.EOF || cnt == 0 {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				return nil, rerr
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		// Zero-length message with the data tag terminates the stream.
+		if err := n.Send(j, tagData, nil); err != nil {
+			return nil, err
+		}
+		if !cfg.KeepIntermediates {
+			if err := n.FS().Remove(w.segName(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	_ = segSizes
+	_ = id
+
+	// Receive loop: drain each peer in rank order, writing its stream
+	// to a private file.  Keys from one peer arrive sorted (the
+	// segment was a slice of a sorted file), so recv_i is sorted.
+	names := make([]string, p)
+	for i := 0; i < p; i++ {
+		name := w.recvName(i)
+		names[i] = name
+		f, err := n.FS().Create(name)
+		if err != nil {
+			return nil, err
+		}
+		wr := diskio.NewWriter(f, cfg.BlockKeys, n.Acct())
+		for {
+			keys, err := n.Recv(i, tagData)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if len(keys) == 0 {
+				break
+			}
+			if err := wr.WriteKeys(keys); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if err := wr.Close(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// finalMerge implements step 5: external merge of the p received files.
+func (w *worker) finalMerge(recvNames []string) error {
+	if err := polyphase.MergeFiles(w.polyCfg("hetsort.s5."), recvNames, w.output); err != nil {
+		return err
+	}
+	if !w.cfg.KeepIntermediates {
+		for _, name := range recvNames {
+			if err := w.n.FS().Remove(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

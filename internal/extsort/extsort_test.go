@@ -1,0 +1,442 @@
+package extsort
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/pdm"
+	"hetsort/internal/perf"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/record"
+)
+
+func testConfig(v perf.Vector) Config {
+	return Config{
+		Perf:        v,
+		BlockKeys:   64,
+		MemoryKeys:  1024,
+		Tapes:       6,
+		MessageKeys: 256,
+	}
+}
+
+func newCluster(t *testing.T, v perf.Vector) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns(), BlockKeys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runSort(t *testing.T, c *cluster.Cluster, v perf.Vector, cfg Config,
+	dist record.Distribution, n int64, seed int64) *Result {
+	t.Helper()
+	sum, err := DistributeInput(c, v, dist, n, seed, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sort(c, cfg, "input", "output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHomogeneousSort(t *testing.T) {
+	v := perf.Homogeneous(4)
+	c := newCluster(t, v)
+	res := runSort(t, c, v, testConfig(v), record.Uniform, 40000, 1)
+	if res.Time <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	var total int64
+	for _, s := range res.PartitionSizes {
+		total += s
+	}
+	if total != 40000 {
+		t.Fatalf("partitions sum to %d", total)
+	}
+	if exp := res.SublistExpansion(v); exp > 1.25 {
+		t.Fatalf("expansion %v too high for uniform input", exp)
+	}
+}
+
+func TestHeterogeneousSort(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	c := newCluster(t, v)
+	n := v.NearestValidSize(40000)
+	res := runSort(t, c, v, testConfig(v), record.Uniform, n, 2)
+	if exp := res.SublistExpansion(v); exp > 1.3 {
+		t.Fatalf("weighted expansion %v too high", exp)
+	}
+	// Fast nodes must hold roughly 4x the slow nodes' data.
+	slow := float64(res.PartitionSizes[0]+res.PartitionSizes[1]) / 2
+	fast := float64(res.PartitionSizes[2]+res.PartitionSizes[3]) / 2
+	if ratio := fast / slow; ratio < 3 || ratio > 5 {
+		t.Fatalf("fast/slow partition ratio %v far from 4 (%v)", ratio, res.PartitionSizes)
+	}
+}
+
+func TestAllDistributions(t *testing.T) {
+	v := perf.Vector{1, 2}
+	for _, d := range record.Distributions() {
+		t.Run(d.String(), func(t *testing.T) {
+			c := newCluster(t, v)
+			runSort(t, c, v, testConfig(v), d, v.NearestValidSize(12000), 5)
+		})
+	}
+}
+
+func TestSingleNodeDegeneratesToSequential(t *testing.T) {
+	v := perf.Homogeneous(1)
+	c := newCluster(t, v)
+	res := runSort(t, c, v, testConfig(v), record.Uniform, 10000, 3)
+	if res.PartitionSizes[0] != 10000 {
+		t.Fatalf("single node holds %d", res.PartitionSizes[0])
+	}
+}
+
+func TestSmallInputs(t *testing.T) {
+	v := perf.Homogeneous(2)
+	cfg := testConfig(v)
+	// Must be large enough per node for step-2 sampling (l_i >= perf*p
+	// spacing), but exercise the small end.
+	for _, n := range []int64{512, 1000, 2048} {
+		c := newCluster(t, v)
+		runSort(t, c, v, cfg, record.Uniform, n, 7)
+	}
+}
+
+func TestStepTimesSumToTotal(t *testing.T) {
+	v := perf.Homogeneous(2)
+	c := newCluster(t, v)
+	res := runSort(t, c, v, testConfig(v), record.Uniform, 20000, 9)
+	var sum float64
+	for _, st := range res.StepTimes {
+		if st < 0 {
+			t.Fatalf("negative step time: %v", res.StepTimes)
+		}
+		sum += st
+	}
+	diff := res.Time - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-9+1e-6*res.Time {
+		t.Fatalf("step times %v do not sum to total %v", res.StepTimes, res.Time)
+	}
+	if res.StepTimes[0] < res.StepTimes[1] {
+		t.Fatalf("step 1 (external sort, %v) should dominate step 2 (sampling, %v)",
+			res.StepTimes[0], res.StepTimes[1])
+	}
+}
+
+func TestIOBudgetsPerStep(t *testing.T) {
+	v := perf.Homogeneous(2)
+	cfg := testConfig(v)
+	c := newCluster(t, v)
+	const n = 32768
+	res := runSort(t, c, v, cfg, record.Uniform, n, 11)
+	params := pdm.Params{N: n, M: int64(cfg.MemoryKeys), B: int64(cfg.BlockKeys), D: 1, P: 2}
+	li := int64(n / 2)
+	for i := 0; i < 2; i++ {
+		// Step 1 within 2x of the paper's polyphase budget.
+		if got, budget := res.StepIO[0][i].Total(), params.SequentialSortIOs(li); got > 2*budget {
+			t.Errorf("node %d step 1: %d I/Os > 2x budget %d", i, got, budget)
+		}
+		// Step 2 reads only the samples: p*perf-1 = 1 key... tiny.
+		if got := res.StepIO[1][i].Total(); got > 16 {
+			t.Errorf("node %d step 2: %d I/Os for sampling", i, got)
+		}
+		// Step 3: read everything once, write everything once.
+		if got, budget := res.StepIO[2][i].Total(), params.PartitionIOs(li); got > budget+4 {
+			t.Errorf("node %d step 3: %d I/Os > budget %d", i, got, budget)
+		}
+		// Step 4: read sender side + write receiver side ~ 2*l/B.
+		if got, budget := res.StepIO[3][i].Total(), params.RedistributionIOs(2*li); got > budget+8 {
+			t.Errorf("node %d step 4: %d I/Os > budget %d", i, got, budget)
+		}
+		// Step 5: merge of p sorted files: one pass when p <= fan-in.
+		if got, budget := res.StepIO[4][i].Total(), params.PartitionIOs(2*li); got > budget+8 {
+			t.Errorf("node %d step 5: %d I/Os > budget %d", i, got, budget)
+		}
+	}
+}
+
+func TestMessageSizeAffectsTimeNotResult(t *testing.T) {
+	v := perf.Homogeneous(4)
+	small, big := testConfig(v), testConfig(v)
+	small.MessageKeys = 64 // tiny packets
+	big.MessageKeys = 4096
+
+	cSmall := newCluster(t, v)
+	resSmall := runSort(t, cSmall, v, small, record.Uniform, 40000, 13)
+	cBig := newCluster(t, v)
+	resBig := runSort(t, cBig, v, big, record.Uniform, 40000, 13)
+
+	for i := range resSmall.PartitionSizes {
+		if resSmall.PartitionSizes[i] != resBig.PartitionSizes[i] {
+			t.Fatal("message size changed the partitioning")
+		}
+	}
+	if resSmall.StepTimes[3] <= resBig.StepTimes[3] {
+		t.Fatalf("small messages should slow redistribution: %v vs %v",
+			resSmall.StepTimes[3], resBig.StepTimes[3])
+	}
+}
+
+func TestHeterogeneousConfigBeatsHomogeneousOnLoadedCluster(t *testing.T) {
+	// The paper's central claim (Table 3): on a cluster with two 4x
+	// loaded nodes, perf={1,1,4,4} halves the execution time compared
+	// to perf={1,1,1,1}.
+	hetero := perf.Vector{1, 1, 4, 4}
+	slowdowns := hetero.Slowdowns()
+	const n = 41000 // close to hetero.NearestValidSize
+
+	runWith := func(v perf.Vector) float64 {
+		c, err := cluster.New(cluster.Config{Slowdowns: slowdowns, BlockKeys: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(v)
+		size := v.NearestValidSize(n)
+		sum, err := DistributeInput(c, v, record.Uniform, size, 17, cfg.BlockKeys, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sort(c, cfg, "input", "output")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	tHomo := runWith(perf.Homogeneous(4))
+	tHet := runWith(hetero)
+	if tHet >= tHomo {
+		t.Fatalf("heterogeneous config %.3fs should beat homogeneous %.3fs", tHet, tHomo)
+	}
+	if ratio := tHomo / tHet; ratio < 1.4 {
+		t.Fatalf("improvement ratio %.2f below the paper's ~2x shape", ratio)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	v := perf.Vector{1, 3}
+	run := func() *Result {
+		c := newCluster(t, v)
+		return runSort(t, c, v, testConfig(v), record.Uniform, v.NearestValidSize(16000), 19)
+	}
+	a, b := run(), run()
+	if a.Time != b.Time {
+		t.Fatalf("virtual time not deterministic: %v vs %v", a.Time, b.Time)
+	}
+	for i := range a.PartitionSizes {
+		if a.PartitionSizes[i] != b.PartitionSizes[i] {
+			t.Fatal("partitions not deterministic")
+		}
+	}
+}
+
+func TestMyrinetBarelyChangesTime(t *testing.T) {
+	// Paper: "executions with Myrinet do not improve performance"
+	// because the algorithm moves each key at most once.
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(40000)
+	run := func(net cluster.NetModel) float64 {
+		c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns(), Net: net, BlockKeys: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(v)
+		sum, err := DistributeInput(c, v, record.Uniform, n, 23, cfg.BlockKeys, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sort(c, cfg, "input", "output")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	fe := run(cluster.FastEthernet())
+	my := run(cluster.Myrinet())
+	if my > fe {
+		t.Fatalf("Myrinet (%v) slower than Fast Ethernet (%v)?", my, fe)
+	}
+	if (fe-my)/fe > 0.25 {
+		t.Fatalf("network change moved time by %v%% — algorithm should be communication-light",
+			100*(fe-my)/fe)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	v := perf.Homogeneous(2)
+	c := newCluster(t, v)
+	bad := []Config{
+		{Perf: perf.Vector{1}, BlockKeys: 64, MemoryKeys: 1024, Tapes: 4, MessageKeys: 128},
+		{Perf: perf.Vector{1, 0}, BlockKeys: 64, MemoryKeys: 1024, Tapes: 4, MessageKeys: 128},
+		{Perf: v, BlockKeys: 64, MemoryKeys: 1024, Tapes: 2, MessageKeys: 128},
+		{Perf: v, BlockKeys: 64, MemoryKeys: 64, Tapes: 4, MessageKeys: 128},
+	}
+	for i, cfg := range bad {
+		if _, err := Sort(c, cfg, "in", "out"); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMissingInputSurfacesError(t *testing.T) {
+	v := perf.Homogeneous(2)
+	c := newCluster(t, v)
+	_, err := Sort(c, testConfig(v), "nope", "out")
+	if err == nil || !strings.Contains(err.Error(), "step 1") {
+		t.Fatalf("want step-1 error, got %v", err)
+	}
+}
+
+func TestDiskFaultSurfaced(t *testing.T) {
+	v := perf.Homogeneous(2)
+	budget := int64(0)
+	c, err := cluster.New(cluster.Config{
+		Slowdowns: v.Slowdowns(),
+		BlockKeys: 64,
+		Disks: func(id int) diskio.FS {
+			inner := diskio.NewMemFS()
+			if id == 1 {
+				ffs := diskio.NewFaultFS(inner, -1)
+				budget = 400
+				ffs.FailAfter = budget
+				return ffs
+			}
+			return inner
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(v)
+	if _, err := DistributeInput(c, v, record.Uniform, 8192, 3, cfg.BlockKeys, "input"); err != nil {
+		// Input distribution may itself hit the fault budget; that is
+		// fine for this test as long as an error surfaces somewhere.
+		return
+	}
+	if _, err := Sort(c, cfg, "input", "output"); err == nil {
+		t.Fatal("injected disk fault did not surface")
+	}
+}
+
+func TestIntermediateFilesCleaned(t *testing.T) {
+	v := perf.Homogeneous(2)
+	c := newCluster(t, v)
+	runSort(t, c, v, testConfig(v), record.Uniform, 8192, 29)
+	for i := 0; i < 2; i++ {
+		names, err := c.Node(i).FS().Names()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if name != "input" && name != "output" {
+				t.Errorf("node %d leftover %q", i, name)
+			}
+		}
+	}
+}
+
+func TestKeepIntermediates(t *testing.T) {
+	v := perf.Homogeneous(2)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.KeepIntermediates = true
+	runSort(t, c, v, cfg, record.Uniform, 8192, 31)
+	names, err := c.Node(0).FS().Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) <= 2 {
+		t.Fatalf("expected intermediates kept, only %v", names)
+	}
+}
+
+func TestRunFormationVariants(t *testing.T) {
+	v := perf.Homogeneous(2)
+	for _, rf := range []polyphase.RunFormation{polyphase.ReplacementSelection, polyphase.LoadSort} {
+		c := newCluster(t, v)
+		cfg := testConfig(v)
+		cfg.RunFormation = rf
+		runSort(t, c, v, cfg, record.Uniform, 16384, 37)
+	}
+}
+
+func TestOnRealDisk(t *testing.T) {
+	v := perf.Vector{1, 2}
+	root := t.TempDir()
+	c, err := cluster.New(cluster.Config{
+		Slowdowns: v.Slowdowns(),
+		BlockKeys: 64,
+		Disks: func(id int) diskio.FS {
+			d, derr := diskio.NewDirFS(root + "/node" + string(rune('0'+id)))
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			return d
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSort(t, c, v, testConfig(v), record.Uniform, v.NearestValidSize(20000), 41)
+}
+
+func TestSortProperty(t *testing.T) {
+	v := perf.Vector{1, 2, 1}
+	cfg := testConfig(v)
+	f := func(seed int64, distRaw uint8) bool {
+		d := record.Distribution(int(distRaw) % record.NumDistributions)
+		n := v.NearestValidSize(9000)
+		c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns(), BlockKeys: 64})
+		if err != nil {
+			return false
+		}
+		sum, err := DistributeInput(c, v, d, n, seed, cfg.BlockKeys, "input")
+		if err != nil {
+			return false
+		}
+		if _, err := Sort(c, cfg, "input", "output"); err != nil {
+			return false
+		}
+		return VerifyOutput(c, "output", cfg.BlockKeys, sum) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	res := &Result{PartitionSizes: []int64{100, 120, 400, 420}}
+	if got := res.MeanPartition(v, 4); got != 410 {
+		t.Fatalf("MeanPartition=%v", got)
+	}
+	if got := res.MaxPartition(v, 4); got != 420 {
+		t.Fatalf("MaxPartition=%v", got)
+	}
+	if got := res.MaxPartition(v, 9); got != 0 {
+		t.Fatalf("missing class MaxPartition=%v", got)
+	}
+	if res.SublistExpansion(perf.Vector{1}) != 0 {
+		t.Fatal("mismatched vector should give 0")
+	}
+}

@@ -1,0 +1,92 @@
+package extsort
+
+import (
+	"fmt"
+	"io"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+// DistributeInput generates n keys of the given distribution and writes
+// each node's perf-proportional portion to the file name on its private
+// disk (the initial configuration of Algorithm 1: "disk i has l_i, a
+// portion of size (n/Σperf)*perf[i] of the unsorted list").  It returns
+// the input checksum for later verification.  Generation is not charged
+// to the clocks — the paper's timings likewise exclude the initial
+// distribution.
+func DistributeInput(c *cluster.Cluster, v perf.Vector, dist record.Distribution,
+	n int64, seed int64, blockKeys int, name string) (record.Checksum, error) {
+	if err := v.Validate(); err != nil {
+		return record.Checksum{}, err
+	}
+	if len(v) != c.P() {
+		return record.Checksum{}, fmt.Errorf("extsort: perf length %d != cluster size %d", len(v), c.P())
+	}
+	keys := dist.Generate(int(n), seed, c.P())
+	shares := v.Shares(n)
+	var off int64
+	for i := 0; i < c.P(); i++ {
+		portion := keys[off : off+shares[i]]
+		off += shares[i]
+		if err := diskio.WriteFile(c.Node(i).FS(), name, portion, blockKeys, diskio.Accounting{}); err != nil {
+			return record.Checksum{}, fmt.Errorf("extsort: writing node %d input: %w", i, err)
+		}
+	}
+	return record.ChecksumOf(keys), nil
+}
+
+// VerifyOutput checks the global postcondition: every node's output
+// file is sorted, the last key of node i does not exceed the first key
+// of node i+1, and the multiset of keys matches the input checksum.
+// Verification I/O is not charged to the clocks.
+func VerifyOutput(c *cluster.Cluster, name string, blockKeys int, want record.Checksum) error {
+	var got record.Checksum
+	prevLast := record.Key(0)
+	havePrev := false
+	for i := 0; i < c.P(); i++ {
+		f, err := c.Node(i).FS().Open(name)
+		if err != nil {
+			return fmt.Errorf("extsort: node %d output: %w", i, err)
+		}
+		r := diskio.NewReader(f, blockKeys, diskio.Accounting{})
+		var prev record.Key
+		first := true
+		for {
+			k, err := r.ReadKey()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if first {
+				if havePrev && k < prevLast {
+					f.Close()
+					return fmt.Errorf("extsort: boundary violation: node %d starts at %d below node %d's last %d",
+						i, k, i-1, prevLast)
+				}
+				first = false
+			} else if k < prev {
+				f.Close()
+				return fmt.Errorf("extsort: node %d output not sorted (%d after %d)", i, k, prev)
+			}
+			prev = k
+			got.Update([]record.Key{k})
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !first {
+			prevLast = prev
+			havePrev = true
+		}
+	}
+	if !got.Equal(want) {
+		return fmt.Errorf("extsort: output multiset %v != input %v", got, want)
+	}
+	return nil
+}

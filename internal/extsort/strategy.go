@@ -1,0 +1,303 @@
+package extsort
+
+import (
+	"fmt"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/quantile"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// Strategy selects how step 2 chooses the partitioning pivots.  The
+// paper's Algorithm 1 uses heterogeneous regular sampling; the
+// companion overpartitioning scheme (Cérin & Gaudiot, Cluster 2000) and
+// a naive random-pivot baseline are provided for the ablation benches.
+type Strategy int
+
+const (
+	// RegularSampling is Algorithm 1's scheme: regularly spaced
+	// samples from the sorted files, perf-proportional counts,
+	// weighted pivot quantiles.
+	RegularSampling Strategy = iota
+	// Overpartitioning draws k*p random samples per unit of perf,
+	// cuts the data into k*p sublists and assigns consecutive
+	// sublists to processors in perf proportion (Li & Sevcik adapted
+	// to heterogeneous clusters).
+	Overpartitioning
+	// RandomPivots picks the p-1 pivots directly from random samples
+	// without the regular-position discipline — the strawman whose
+	// poor balance motivates sampling "in a regular way".
+	RandomPivots
+	// QuantileSketch streams each sorted file through a
+	// Greenwald-Khanna summary and picks pivots from the merged
+	// sketches (the variant of the paper's reference [29]): one extra
+	// sequential read pass, but the designated node receives compact
+	// sketches instead of p^2 samples, and the pivots are not limited
+	// to the regular-sample grid.
+	QuantileSketch
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RegularSampling:
+		return "regular-sampling"
+	case Overpartitioning:
+		return "overpartitioning"
+	case RandomPivots:
+		return "random-pivots"
+	case QuantileSketch:
+		return "quantile-sketch"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// sampleRandom reads `count` keys at distinct random positions of the
+// node's sorted file (charging a seek + block read each, like the
+// regular sampler).
+func (w *worker) sampleRandom(li int64, count int, seed int64) ([]record.Key, error) {
+	n := w.n
+	if li <= 0 || count <= 0 {
+		return nil, nil
+	}
+	f, err := n.FS().Open(w.sortedName())
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []record.Key
+	for _, idx := range sampling.RandomSampleIndices(li, count, seed) {
+		k, err := diskio.ReadKeyAt(f, idx, n.Acct())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// selectPivotsRandom implements the RandomPivots strategy: each node
+// contributes perf-proportional random samples; node 0 picks the p-1
+// weighted pivots from them without any regular-position structure.
+func (w *worker) selectPivotsRandom(li int64) ([]record.Key, error) {
+	n, cfg := w.n, w.cfg
+	p, id := n.P(), n.ID()
+	if p == 1 {
+		return nil, nil
+	}
+	count := (p - 1) * cfg.Perf[id]
+	samples, err := w.sampleRandom(li, count, cfg.Seed+int64(id)*101)
+	if err != nil {
+		return nil, err
+	}
+	gathered, err := n.Gather(0, tagSamples, samples)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(int64(len(cands)) * 16)
+		pivots, err = sampling.SelectPivotsWeighted(cands, cfg.Perf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n.Bcast(0, tagPivots, pivots)
+}
+
+// selectPivotsOver implements the Overpartitioning strategy for the
+// external sorter: k*p-1 pivots define k*p sublists; all nodes agree on
+// a consecutive-range assignment of sublists to processors weighted by
+// perf, and the returned p-1 "processor pivots" are the sublist
+// boundaries at the assignment cuts.  Converting the assignment back to
+// p-1 pivots keeps steps 3-5 identical across strategies.
+func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
+	n, cfg := w.n, w.cfg
+	p, id := n.P(), n.ID()
+	if p == 1 {
+		return nil, nil
+	}
+	k := cfg.OverFactor
+	if k <= 0 {
+		k = 4
+	}
+	count := k * p * cfg.Perf[id]
+	samples, err := w.sampleRandom(li, count, cfg.Seed+int64(id)*211)
+	if err != nil {
+		return nil, err
+	}
+	gathered, err := n.Gather(0, tagSamples, samples)
+	if err != nil {
+		return nil, err
+	}
+	// Node 0 selects the fine pivots.
+	var fine []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(int64(len(cands)) * 16)
+		fine, err = sampling.OverpartitionPivots(cands, p, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fine, err = n.Bcast(0, tagPivots, fine)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every node counts its local sublist sizes with one scan of the
+	// sorted file, then the global sizes are agreed via AllGather.
+	sizes, err := w.countSublists(fine)
+	if err != nil {
+		return nil, err
+	}
+	sizeKeys := make([]record.Key, len(sizes))
+	for i, s := range sizes {
+		sizeKeys[i] = record.Key(s)
+	}
+	all, err := n.AllGather(tagOverSizes, sizeKeys)
+	if err != nil {
+		return nil, err
+	}
+	global := make([]int64, len(sizes))
+	for i := range all {
+		global[i%len(sizes)] += int64(all[i])
+	}
+	assign, err := sampling.AssignSublists(global, cfg.Perf)
+	if err != nil {
+		return nil, err
+	}
+	// The processor pivots are the fine pivots at the assignment cuts.
+	pivots := make([]record.Key, p-1)
+	cut := 0
+	for proc := 0; proc < p-1; proc++ {
+		cut += len(assign[proc])
+		if cut-1 < len(fine) {
+			pivots[proc] = fine[cut-1]
+		} else {
+			pivots[proc] = ^record.Key(0)
+		}
+	}
+	return pivots, nil
+}
+
+// selectPivotsQuantile implements the QuantileSketch strategy: stream
+// the sorted file through an ε-sketch, gather the compressed sketches
+// on node 0 as (values, weights) pairs, merge, and answer the pivot
+// quantiles from the merged sketch.
+func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
+	n, cfg := w.n, w.cfg
+	p, id := n.P(), n.ID()
+	if p == 1 {
+		return nil, nil
+	}
+	eps := cfg.QuantileEps
+	if eps <= 0 {
+		eps = 0.01
+	}
+	sk, err := quantile.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	if li > 0 {
+		f, err := n.FS().Open(w.sortedName())
+		if err != nil {
+			return nil, err
+		}
+		r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
+		buf := make([]record.Key, cfg.BlockKeys)
+		for {
+			cnt, rerr := r.ReadKeys(buf)
+			sk.InsertAll(buf[:cnt])
+			n.ChargeCompute(int64(cnt))
+			if rerr != nil || cnt == 0 {
+				break
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	vals, weights := sk.Export()
+	wk := make([]record.Key, len(weights))
+	for i, wt := range weights {
+		wk[i] = record.Key(wt)
+	}
+	gv, err := n.Gather(0, tagSamples, vals)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := n.Gather(0, tagOverSizes, wk)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []record.Key
+	if id == 0 {
+		merged, err := quantile.New(eps)
+		if err != nil {
+			return nil, err
+		}
+		for i := range gv {
+			ws := make([]int64, len(gw[i]))
+			for j, wt := range gw[i] {
+				ws[j] = int64(wt)
+			}
+			s, err := quantile.FromExport(eps, gv[i], ws)
+			if err != nil {
+				return nil, fmt.Errorf("node %d sketch: %w", i, err)
+			}
+			merged.Merge(s)
+		}
+		n.ChargeCompute(int64(merged.TupleCount()) * 8)
+		sum := cfg.Perf.Sum()
+		pivots = make([]record.Key, p-1)
+		var cum int64
+		for j := 0; j < p-1; j++ {
+			cum += int64(cfg.Perf[j])
+			pv, qerr := merged.Query(float64(cum) / float64(sum))
+			if qerr != nil {
+				// Empty global input: zero pivots are valid.
+				pv = 0
+			}
+			pivots[j] = pv
+		}
+	}
+	return n.Bcast(0, tagPivots, pivots)
+}
+
+// countSublists scans the sorted file once and counts how many keys
+// fall in each of the len(fine)+1 sublists.
+func (w *worker) countSublists(fine []record.Key) ([]int64, error) {
+	n, cfg := w.n, w.cfg
+	f, err := n.FS().Open(w.sortedName())
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
+	sizes := make([]int64, len(fine)+1)
+	seg := 0
+	buf := make([]record.Key, cfg.BlockKeys)
+	for {
+		cnt, rerr := r.ReadKeys(buf)
+		for _, key := range buf[:cnt] {
+			for seg < len(fine) && key > fine[seg] {
+				seg++
+			}
+			sizes[seg]++
+		}
+		n.ChargeCompute(int64(cnt))
+		if rerr != nil || cnt == 0 {
+			break
+		}
+	}
+	return sizes, nil
+}

@@ -1,0 +1,74 @@
+package pdm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter accumulates I/O operations in PDM units (block transfers).  It
+// is safe for concurrent use; the disk layer charges it from every node
+// goroutine.  The zero value is ready to use.
+type Counter struct {
+	readBlocks  atomic.Int64
+	writeBlocks atomic.Int64
+	seeks       atomic.Int64
+}
+
+// AddRead records n block reads.
+func (c *Counter) AddRead(n int64) { c.readBlocks.Add(n) }
+
+// AddWrite records n block writes.
+func (c *Counter) AddWrite(n int64) { c.writeBlocks.Add(n) }
+
+// AddSeek records n random repositionings (not counted in PDM transfers
+// but useful to observe access patterns).
+func (c *Counter) AddSeek(n int64) { c.seeks.Add(n) }
+
+// Reads returns the number of block reads recorded so far.
+func (c *Counter) Reads() int64 { return c.readBlocks.Load() }
+
+// Writes returns the number of block writes recorded so far.
+func (c *Counter) Writes() int64 { return c.writeBlocks.Load() }
+
+// Seeks returns the number of seeks recorded so far.
+func (c *Counter) Seeks() int64 { return c.seeks.Load() }
+
+// Total returns reads+writes, the PDM I/O complexity measure.
+func (c *Counter) Total() int64 { return c.Reads() + c.Writes() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.readBlocks.Store(0)
+	c.writeBlocks.Store(0)
+	c.seeks.Store(0)
+}
+
+// Snapshot returns an immutable copy of the current values.
+func (c *Counter) Snapshot() IOStats {
+	return IOStats{Reads: c.Reads(), Writes: c.Writes(), Seeks: c.Seeks()}
+}
+
+// IOStats is an immutable snapshot of a Counter.
+type IOStats struct {
+	Reads  int64
+	Writes int64
+	Seeks  int64
+}
+
+// Total returns reads+writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// Add returns the element-wise sum of two snapshots.
+func (s IOStats) Add(t IOStats) IOStats {
+	return IOStats{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes, Seeks: s.Seeks + t.Seeks}
+}
+
+// Sub returns the element-wise difference s-t; useful to measure one
+// algorithm step with a shared counter.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Seeks: s.Seeks - t.Seeks}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("IO{reads=%d writes=%d seeks=%d total=%d}", s.Reads, s.Writes, s.Seeks, s.Total())
+}

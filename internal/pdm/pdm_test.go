@@ -1,0 +1,243 @@
+package pdm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	p, err := New(1<<20, 1<<14, 1<<8, 1, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if p.N != 1<<20 || p.M != 1<<14 || p.B != 1<<8 || p.D != 1 || p.P != 4 {
+		t.Fatalf("fields not stored: %+v", p)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"zero N", Params{N: 0, M: 8, B: 2, D: 1, P: 1}},
+		{"negative N", Params{N: -5, M: 8, B: 2, D: 1, P: 1}},
+		{"zero M", Params{N: 100, M: 0, B: 2, D: 1, P: 1}},
+		{"zero B", Params{N: 100, M: 8, B: 0, D: 1, P: 1}},
+		{"zero D", Params{N: 100, M: 8, B: 2, D: 0, P: 1}},
+		{"zero P", Params{N: 100, M: 8, B: 2, D: 1, P: 0}},
+		{"in-core M=N", Params{N: 100, M: 100, B: 2, D: 1, P: 1}},
+		{"in-core M>N", Params{N: 100, M: 200, B: 2, D: 1, P: 1}},
+		{"DB too large", Params{N: 100, M: 8, B: 8, D: 1, P: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); !errors.Is(err, ErrInvalidParams) {
+				t.Fatalf("want ErrInvalidParams, got %v", err)
+			}
+		})
+	}
+}
+
+func TestBlocksRounding(t *testing.T) {
+	p := Params{N: 1001, M: 100, B: 10, D: 1, P: 1}
+	if got := p.BlocksN(); got != 101 {
+		t.Fatalf("BlocksN=%d want 101 (ceil)", got)
+	}
+	if got := p.BlocksM(); got != 10 {
+		t.Fatalf("BlocksM=%d want 10 (floor)", got)
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := []struct {
+		x, base, want int64
+	}{
+		{1, 10, 0},
+		{0, 10, 0},
+		{2, 2, 1},
+		{3, 2, 2},
+		{4, 2, 2},
+		{5, 2, 3},
+		{1000, 10, 3},
+		{1001, 10, 4},
+		{9, 3, 2},
+		{10, 3, 3},
+		{7, 1, 3}, // base clamped to 2
+	}
+	for _, c := range cases {
+		if got := LogCeil(c.x, c.base); got != c.want {
+			t.Errorf("LogCeil(%d,%d)=%d want %d", c.x, c.base, got, c.want)
+		}
+	}
+}
+
+func TestLogCeilOverflowGuard(t *testing.T) {
+	if got := LogCeil(math.MaxInt64, 2); got != 63 {
+		t.Fatalf("LogCeil(MaxInt64,2)=%d want 63", got)
+	}
+}
+
+func TestLogCeilProperty(t *testing.T) {
+	// base^(k-1) < x <= base^k for the returned k (x>1).
+	f := func(xs uint32, bs uint8) bool {
+		x := int64(xs%1_000_000) + 2
+		base := int64(bs%30) + 2
+		k := LogCeil(x, base)
+		lo := int64(1)
+		for i := int64(0); i < k-1; i++ {
+			lo *= base
+		}
+		hi := lo
+		if k > 0 {
+			hi = lo * base
+		}
+		return (k == 0 && x <= 1) || (lo < x && x <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortBoundSinglePass(t *testing.T) {
+	// n <= m means one pass over the data.  (Such parameters are in-core
+	// and fail Validate, but SortBound must still degrade gracefully.)
+	p := Params{N: 1 << 10, M: 1 << 12, B: 1 << 5, D: 1, P: 1}
+	if got, want := p.SortBound(), p.BlocksN(); got != want {
+		t.Fatalf("SortBound=%d want %d for single pass", got, want)
+	}
+}
+
+func TestSortBoundGrowsWithN(t *testing.T) {
+	small := Params{N: 1 << 16, M: 1 << 10, B: 1 << 4, D: 1, P: 1}
+	big := Params{N: 1 << 24, M: 1 << 10, B: 1 << 4, D: 1, P: 1}
+	if small.SortBound() >= big.SortBound() {
+		t.Fatalf("bound must grow with N: %d vs %d", small.SortBound(), big.SortBound())
+	}
+}
+
+func TestSortBoundDividesByD(t *testing.T) {
+	one := Params{N: 1 << 20, M: 1 << 12, B: 1 << 4, D: 1, P: 1}
+	four := Params{N: 1 << 20, M: 1 << 12, B: 1 << 4, D: 4, P: 4}
+	if one.SortBound() < 3*four.SortBound() {
+		t.Fatalf("D=4 should cut I/Os ~4x: D1=%d D4=%d", one.SortBound(), four.SortBound())
+	}
+}
+
+func TestStepBudgets(t *testing.T) {
+	p := Params{N: 1 << 20, M: 1 << 12, B: 1 << 6, D: 1, P: 4}
+	l := int64(1 << 18)
+	lb := l / p.B
+	wantSeq := 2 * lb * (1 + LogCeil(lb, p.BlocksM()))
+	if got := p.SequentialSortIOs(l); got != wantSeq {
+		t.Errorf("SequentialSortIOs=%d want %d", got, wantSeq)
+	}
+	if got := p.PartitionIOs(l); got != 2*lb {
+		t.Errorf("PartitionIOs=%d want %d", got, 2*lb)
+	}
+	if got := p.RedistributionIOs(l); got != 2*lb {
+		t.Errorf("RedistributionIOs=%d want %d", got, 2*lb)
+	}
+}
+
+func TestStepBudgetsRoundUp(t *testing.T) {
+	p := Params{N: 1000, M: 64, B: 7, D: 1, P: 2}
+	if got := p.PartitionIOs(8); got != 4 { // ceil(8/7)=2, doubled
+		t.Fatalf("PartitionIOs(8)=%d want 4", got)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.AddRead(3)
+	c.AddWrite(2)
+	c.AddSeek(1)
+	if c.Reads() != 3 || c.Writes() != 2 || c.Seeks() != 1 || c.Total() != 5 {
+		t.Fatalf("unexpected counter state: %+v", c.Snapshot())
+	}
+	s := c.Snapshot()
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+	if s.Total() != 5 {
+		t.Fatal("snapshot must be immune to Reset")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.AddRead(1)
+				c.AddWrite(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Reads() != 8000 || c.Writes() != 8000 {
+		t.Fatalf("lost updates: %v", c.Snapshot())
+	}
+}
+
+func TestIOStatsArithmetic(t *testing.T) {
+	a := IOStats{Reads: 10, Writes: 5, Seeks: 2}
+	b := IOStats{Reads: 4, Writes: 1, Seeks: 1}
+	if got := a.Add(b); got != (IOStats{14, 6, 3}) {
+		t.Fatalf("Add=%v", got)
+	}
+	if got := a.Sub(b); got != (IOStats{6, 4, 1}) {
+		t.Fatalf("Sub=%v", got)
+	}
+}
+
+func TestOrganizationStrings(t *testing.T) {
+	if !strings.Contains(SingleCPU.String(), "P=1") {
+		t.Error("SingleCPU string")
+	}
+	if !strings.Contains(PerProcessorDisk.String(), "P=D") {
+		t.Error("PerProcessorDisk string")
+	}
+	if Striped.String() != "striped" || Independent.String() != "independent" {
+		t.Error("access mode strings")
+	}
+}
+
+func TestStripedPenaltyAtLeastOne(t *testing.T) {
+	p := Params{N: 1 << 26, M: 1 << 12, B: 1 << 4, D: 16, P: 16}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pen := p.StripedPenalty(); pen < 1 {
+		t.Fatalf("striped penalty %v < 1", pen)
+	}
+}
+
+func TestStripedPenaltyGrowsWithD(t *testing.T) {
+	// With many disks the striped logical memory m=M/(DB) collapses and
+	// the striped sort needs more passes.
+	base := Params{N: 1 << 30, M: 1 << 14, B: 1 << 4, D: 2, P: 2}
+	wide := Params{N: 1 << 30, M: 1 << 14, B: 1 << 4, D: 256, P: 256}
+	if base.StripedPenalty() > wide.StripedPenalty() {
+		t.Fatalf("penalty should not shrink with D: D2=%v D256=%v",
+			base.StripedPenalty(), wide.StripedPenalty())
+	}
+}
+
+func TestStringContainsDerived(t *testing.T) {
+	p := Params{N: 100, M: 10, B: 2, D: 1, P: 1}
+	s := p.String()
+	for _, frag := range []string{"N=100", "M=10", "B=2", "n=50", "m=5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String()=%q missing %q", s, frag)
+		}
+	}
+}

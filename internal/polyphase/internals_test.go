@@ -1,0 +1,250 @@
+package polyphase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+func TestMergeHeapOrdering(t *testing.T) {
+	h := newMergeHeap(8, vtime.Nop{})
+	keys := []record.Key{5, 3, 9, 1, 7, 1, 0xffffffff, 0}
+	for i, k := range keys {
+		h.push(mergeItem{key: k, src: i})
+	}
+	var out []record.Key
+	for h.len() > 0 {
+		out = append(out, h.pop().key)
+	}
+	if !record.IsSorted(out) {
+		t.Fatalf("heap pops out of order: %v", out)
+	}
+	if len(out) != len(keys) {
+		t.Fatalf("lost items: %v", out)
+	}
+}
+
+func TestMergeHeapReplaceTop(t *testing.T) {
+	h := newMergeHeap(4, vtime.Nop{})
+	for _, k := range []record.Key{10, 20, 30} {
+		h.push(mergeItem{key: k})
+	}
+	h.replaceTop(mergeItem{key: 25})
+	if got := h.pop().key; got != 20 {
+		t.Fatalf("min after replaceTop = %d, want 20", got)
+	}
+	if got := h.pop().key; got != 25 {
+		t.Fatalf("second pop = %d, want 25", got)
+	}
+}
+
+func TestMergeHeapProperty(t *testing.T) {
+	f := func(keys []record.Key) bool {
+		h := newMergeHeap(len(keys), nil)
+		for i, k := range keys {
+			h.push(mergeItem{key: k, src: i})
+		}
+		var out []record.Key
+		for h.len() > 0 {
+			out = append(out, h.pop().key)
+		}
+		if len(out) != len(keys) {
+			return false
+		}
+		return record.IsSorted(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionHeapRunOrdering(t *testing.T) {
+	// Items of run r must all come out before any item of run r+1,
+	// regardless of key values.
+	h := newSelectionHeap(8, vtime.Nop{})
+	h.push(selectionItem{key: 1, run: 1})
+	h.push(selectionItem{key: 100, run: 0})
+	h.push(selectionItem{key: 50, run: 0})
+	h.push(selectionItem{key: 0, run: 1})
+	want := []selectionItem{{50, 0}, {100, 0}, {0, 1}, {1, 1}}
+	for i, w := range want {
+		got := h.pop()
+		if got != w {
+			t.Fatalf("pop %d = %+v want %+v", i, got, w)
+		}
+	}
+}
+
+func TestSelectionHeapReplaceTop(t *testing.T) {
+	h := newSelectionHeap(4, nil)
+	h.push(selectionItem{key: 10, run: 0})
+	h.push(selectionItem{key: 20, run: 0})
+	h.replaceTop(selectionItem{key: 5, run: 1}) // demoted to next run
+	if got := h.pop(); got.key != 20 || got.run != 0 {
+		t.Fatalf("pop = %+v", got)
+	}
+	if got := h.pop(); got.key != 5 || got.run != 1 {
+		t.Fatalf("pop = %+v", got)
+	}
+}
+
+func TestHeapsChargeCompute(t *testing.T) {
+	var charged int64
+	m := &captureMeter{compute: &charged}
+	h := newMergeHeap(16, m)
+	for i := 0; i < 16; i++ {
+		h.push(mergeItem{key: record.Key(16 - i)})
+	}
+	for h.len() > 0 {
+		h.pop()
+	}
+	if charged == 0 {
+		t.Fatal("heap operations charged no compute")
+	}
+}
+
+type captureMeter struct{ compute *int64 }
+
+func (c *captureMeter) ChargeCompute(n int64) { *c.compute += n }
+func (c *captureMeter) ChargeIOBlocks(int64)  {}
+func (c *captureMeter) ChargeSeek(int64)      {}
+
+func TestDistributorPlacesAllRunsWithinTargets(t *testing.T) {
+	for _, tapes := range []int{2, 3, 5} {
+		inputs := make([]*tape, tapes)
+		for i := range inputs {
+			inputs[i] = &tape{}
+		}
+		d := newDistributor(inputs)
+		// Place 100 runs via the public-ish path (pick/placed).
+		for r := 0; r < 100; r++ {
+			i := d.pick()
+			d.placed[i]++
+		}
+		d.finalize()
+		var placed, total int64
+		for i, tp := range inputs {
+			if d.placed[i] > d.target[i] {
+				t.Fatalf("tape %d overfilled: %d > %d", i, d.placed[i], d.target[i])
+			}
+			if tp.dummies != d.target[i]-d.placed[i] {
+				t.Fatalf("tape %d dummies %d inconsistent", i, tp.dummies)
+			}
+			placed += d.placed[i]
+			total += d.target[i]
+		}
+		if placed != 100 {
+			t.Fatalf("placed %d runs", placed)
+		}
+		if total < 100 {
+			t.Fatalf("targets %d below run count", total)
+		}
+	}
+}
+
+func TestDistributorTwoTapeFibonacci(t *testing.T) {
+	// T=3 means two input tapes: the classic Fibonacci distribution.
+	inputs := []*tape{{}, {}}
+	d := newDistributor(inputs)
+	sums := []int64{}
+	for l := 0; l < 8; l++ {
+		sums = append(sums, d.target[0]+d.target[1])
+		d.levelUp()
+	}
+	want := []int64{2, 3, 5, 8, 13, 21, 34, 55}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("fibonacci totals %v want %v", sums, want)
+		}
+	}
+}
+
+func TestRunFormationEmitsSortedRuns(t *testing.T) {
+	// Collect runs from the replacement-selection former and check
+	// each is sorted and their union is the input.
+	fs := newMemInput(t, record.Uniform.Generate(3000, 5, 1))
+	var runs [][]record.Key
+	sink := &collectSink{runs: &runs}
+	n, total, err := formRuns(fs, "input", 16, 64, ReplacementSelection, accounting(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(runs)) || total != 3000 {
+		t.Fatalf("n=%d runs=%d total=%d", n, len(runs), total)
+	}
+	var all []record.Key
+	for _, r := range runs {
+		if !record.IsSorted(r) {
+			t.Fatal("run not sorted")
+		}
+		all = append(all, r...)
+	}
+	want := record.ChecksumOf(record.Uniform.Generate(3000, 5, 1))
+	if !record.ChecksumOf(all).Equal(want) {
+		t.Fatal("runs lost keys")
+	}
+}
+
+func TestReplacementSelectionAverageRunLength(t *testing.T) {
+	// Knuth: expected run length 2M on random input.
+	fs := newMemInput(t, record.Uniform.Generate(50000, 9, 1))
+	var runs [][]record.Key
+	sink := &collectSink{runs: &runs}
+	n, total, err := formRuns(fs, "input", 64, 256, ReplacementSelection, accounting(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(total) / float64(n)
+	if avg < 1.6*256 || avg > 2.4*256 {
+		t.Fatalf("average run length %v keys, want ~2M=512", avg)
+	}
+}
+
+func TestLoadSortRunLengthExactlyM(t *testing.T) {
+	fs := newMemInput(t, record.Uniform.Generate(1000, 3, 1))
+	var runs [][]record.Key
+	sink := &collectSink{runs: &runs}
+	_, _, err := formRuns(fs, "input", 16, 256, LoadSort, accounting(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs[:len(runs)-1] {
+		if len(r) != 256 {
+			t.Fatalf("run %d length %d, want M=256", i, len(r))
+		}
+	}
+	if last := runs[len(runs)-1]; len(last) != 1000%256 {
+		t.Fatalf("last run %d keys", len(last))
+	}
+}
+
+// Helpers.
+
+func newMemInput(t *testing.T, keys []record.Key) diskio.FS {
+	t.Helper()
+	fs := diskio.NewMemFS()
+	if err := diskio.WriteFile(fs, "input", keys, 64, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func accounting() diskio.Accounting { return diskio.Accounting{} }
+
+type collectSink struct {
+	runs *[][]record.Key
+	cur  []record.Key
+}
+
+func (c *collectSink) beginRun() error { c.cur = nil; return nil }
+func (c *collectSink) emit(k record.Key) error {
+	c.cur = append(c.cur, k)
+	return nil
+}
+func (c *collectSink) endRun() error {
+	*c.runs = append(*c.runs, c.cur)
+	return nil
+}

@@ -1,0 +1,185 @@
+package polyphase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// RunFormation selects how initial sorted runs are produced.
+type RunFormation int
+
+const (
+	// ReplacementSelection streams the input through a selection heap
+	// of MemoryKeys entries, producing runs that average twice the
+	// memory size on random input (Knuth §5.4.1).  This is the classic
+	// tape-era technique and the package default.
+	ReplacementSelection RunFormation = iota
+	// LoadSort reads memory-sized loads and sorts each in core ("each
+	// memory load is sorted into a single run", paper §2), producing
+	// runs of exactly MemoryKeys keys.
+	LoadSort
+)
+
+func (rf RunFormation) String() string {
+	if rf == ReplacementSelection {
+		return "replacement-selection"
+	}
+	return "load-sort"
+}
+
+// runSink receives each formed run: length in keys, and the keys are
+// delivered through the provided writer callback sequence.
+type runSink interface {
+	// beginRun announces a new run; subsequent emit calls belong to it
+	// until endRun.
+	beginRun() error
+	emit(k record.Key) error
+	endRun() error
+}
+
+// formRuns reads the whole input file and emits sorted runs to sink.
+// memoryKeys bounds the in-core working set.  Returns the number of runs
+// and keys processed.
+func formRuns(
+	fs diskio.FS, inputName string, blockKeys, memoryKeys int,
+	how RunFormation, acct diskio.Accounting, sink runSink,
+) (runs int64, keys int64, err error) {
+	in, err := fs.Open(inputName)
+	if err != nil {
+		return 0, 0, fmt.Errorf("polyphase: opening input: %w", err)
+	}
+	defer in.Close()
+	r := diskio.NewReader(in, blockKeys, acct)
+	meter := acct.Meter
+	if meter == nil {
+		meter = vtime.Nop{}
+	}
+	switch how {
+	case ReplacementSelection:
+		return formRunsReplacement(r, memoryKeys, meter, sink)
+	case LoadSort:
+		return formRunsLoadSort(r, memoryKeys, meter, sink)
+	default:
+		return 0, 0, fmt.Errorf("polyphase: unknown run formation %d", how)
+	}
+}
+
+func formRunsReplacement(r *diskio.Reader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
+	h := newSelectionHeap(memoryKeys, meter)
+	var total int64
+	// Prime the heap.
+	for h.len() < memoryKeys {
+		k, err := r.ReadKey()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		h.push(selectionItem{key: k, run: 0})
+		total++
+	}
+	if h.len() == 0 {
+		return 0, 0, nil
+	}
+	var runs int64
+	current := int64(0)
+	inRun := false
+	var lastOut record.Key
+	for h.len() > 0 {
+		it := h.peek()
+		if it.run != current {
+			// Current run exhausted; start the next one.
+			if inRun {
+				if err := sink.endRun(); err != nil {
+					return runs, total, err
+				}
+				inRun = false
+			}
+			current = it.run
+		}
+		if !inRun {
+			if err := sink.beginRun(); err != nil {
+				return runs, total, err
+			}
+			runs++
+			inRun = true
+		}
+		if err := sink.emit(it.key); err != nil {
+			return runs, total, err
+		}
+		lastOut = it.key
+		// Refill from input: a key >= lastOut can extend the current
+		// run; a smaller key is demoted to the next run.
+		next, err := r.ReadKey()
+		switch err {
+		case nil:
+			total++
+			meter.ChargeCompute(1)
+			if next >= lastOut {
+				h.replaceTop(selectionItem{key: next, run: current})
+			} else {
+				h.replaceTop(selectionItem{key: next, run: current + 1})
+			}
+		case io.EOF:
+			h.pop()
+		default:
+			return runs, total, err
+		}
+	}
+	if inRun {
+		if err := sink.endRun(); err != nil {
+			return runs, total, err
+		}
+	}
+	return runs, total, nil
+}
+
+func formRunsLoadSort(r *diskio.Reader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
+	load := make([]record.Key, memoryKeys)
+	var runs, total int64
+	for {
+		n, err := r.ReadKeys(load)
+		if n > 0 {
+			chunk := load[:n]
+			sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+			meter.ChargeCompute(nLogN(int64(n)))
+			if err := sink.beginRun(); err != nil {
+				return runs, total, err
+			}
+			runs++
+			total += int64(n)
+			for _, k := range chunk {
+				if serr := sink.emit(k); serr != nil {
+					return runs, total, serr
+				}
+			}
+			if serr := sink.endRun(); serr != nil {
+				return runs, total, serr
+			}
+		}
+		if err == io.EOF || n == 0 {
+			return runs, total, nil
+		}
+		if err != nil {
+			return runs, total, err
+		}
+	}
+}
+
+// nLogN approximates the comparison count of an in-core sort of n keys.
+func nLogN(n int64) int64 {
+	if n <= 1 {
+		return n
+	}
+	var lg int64
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return n * lg
+}

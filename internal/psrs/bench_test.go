@@ -1,0 +1,41 @@
+package psrs
+
+import (
+	"testing"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+func benchPortions(v perf.Vector, n int) [][]record.Key {
+	keys := record.Uniform.Generate(n, 1, len(v))
+	shares := v.Shares(int64(n))
+	out := make([][]record.Key, len(v))
+	off := int64(0)
+	for i, s := range shares {
+		out[i] = keys[off : off+s]
+		off += s
+	}
+	return out
+}
+
+func BenchmarkInCoreSort(b *testing.B) {
+	for _, strat := range []Strategy{RegularSampling, Overpartitioning, Quantiles} {
+		b.Run(strat.String(), func(b *testing.B) {
+			v := perf.Vector{1, 1, 4, 4}
+			n := int(v.NearestValidSize(1 << 17))
+			portions := benchPortions(v, n)
+			b.SetBytes(int64(n) * record.KeySize)
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Sort(c, Config{Perf: v, Strategy: strat, Seed: int64(i)}, portions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

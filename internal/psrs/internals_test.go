@@ -1,0 +1,111 @@
+package psrs
+
+import (
+	"testing"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/record"
+)
+
+func TestMergePartsCorrectness(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Slowdowns: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(n *cluster.Node) error {
+		parts := [][]record.Key{
+			{1, 4, 7},
+			{},
+			{2, 2, 9},
+			{0},
+			{3, 5, 6, 8},
+		}
+		got := mergeParts(n, parts)
+		want := []record.Key{0, 1, 2, 2, 3, 4, 5, 6, 7, 8, 9}
+		if len(got) != len(want) {
+			t.Errorf("len=%d", len(got))
+			return nil
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("merge[%d]=%d want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0).Clock() == 0 {
+		t.Fatal("merge charged no compute")
+	}
+}
+
+func TestMergePartsAllEmpty(t *testing.T) {
+	c, _ := cluster.New(cluster.Config{Slowdowns: []float64{1}})
+	c.Run(func(n *cluster.Node) error {
+		if got := mergeParts(n, [][]record.Key{{}, {}}); len(got) != 0 {
+			t.Errorf("got %v", got)
+		}
+		return nil
+	})
+}
+
+func TestLocalSortDoesNotMutate(t *testing.T) {
+	c, _ := cluster.New(cluster.Config{Slowdowns: []float64{1}})
+	c.Run(func(n *cluster.Node) error {
+		portion := []record.Key{3, 1, 2}
+		sorted := localSort(n, portion)
+		if !record.IsSorted(sorted) {
+			t.Error("not sorted")
+		}
+		if portion[0] != 3 {
+			t.Error("portion mutated")
+		}
+		return nil
+	})
+}
+
+func TestExchangeAndMergeRouting(t *testing.T) {
+	// Two nodes; node 0 holds [0..9], node 1 holds [10..19]; cut at 5
+	// for node 0 and at... each node's cuts route <=cut to node 0.
+	c, _ := cluster.New(cluster.Config{Slowdowns: []float64{1, 1}})
+	outs := make([][]record.Key, 2)
+	err := c.Run(func(n *cluster.Node) error {
+		var local []record.Key
+		var cuts []int
+		if n.ID() == 0 {
+			local = []record.Key{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+			cuts = []int{5} // first 5 stay on node 0
+		} else {
+			local = []record.Key{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+			cuts = []int{0} // nothing for node 0
+		}
+		got, err := exchangeAndMerge(n, local, cuts)
+		outs[n.ID()] = got
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs[0]) != 5 || len(outs[1]) != 15 {
+		t.Fatalf("routing wrong: %d/%d", len(outs[0]), len(outs[1]))
+	}
+	if !record.IsSorted(outs[0]) || !record.IsSorted(outs[1]) {
+		t.Fatal("outputs unsorted")
+	}
+	if outs[0][4] >= outs[1][0] {
+		t.Fatal("boundary violated")
+	}
+}
+
+func TestNLogN(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{0, 0}, {1, 1}, {2, 2}, {4, 8}, {8, 24}, {1024, 10240},
+	}
+	for _, c := range cases {
+		if got := nLogN(c.n); got != c.want {
+			t.Errorf("nLogN(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package psrs
+
+import (
+	"hetsort/internal/cluster"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// sortOver is the Li & Sevcik overpartitioning scheme on the cluster:
+// no initial sort is needed for pivot selection — k*p-1 random samples
+// define k*p sublists, which are assigned to processors in consecutive
+// blocks proportional to the perf vector.  Each node still sorts its
+// own portion locally (once) before partitioning, mirroring the
+// one-sequential-sort structure of the original algorithm.
+func sortOver(n *cluster.Node, cfg Config, portion []record.Key) ([]record.Key, error) {
+	p, id := n.P(), n.ID()
+	local := localSort(n, portion)
+
+	// Random candidates, perf-proportional counts per node so the
+	// sample represents the data layout.
+	count := cfg.OverFactor * p * cfg.Perf[id]
+	if count > len(local) {
+		count = len(local)
+	}
+	idxs := sampling.RandomSampleIndices(int64(len(local)), count, cfg.Seed+int64(id))
+	samples := make([]record.Key, len(idxs))
+	for i, ix := range idxs {
+		samples[i] = local[ix]
+	}
+	gathered, err := n.Gather(0, tagSamples, samples)
+	if err != nil {
+		return nil, err
+	}
+
+	// Node 0 picks k*p-1 pivots and broadcasts them.
+	var pivots []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(nLogN(int64(len(cands))))
+		pivots, err = sampling.OverpartitionPivots(cands, p, cfg.OverFactor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pivots, err = n.Bcast(0, tagPivots, pivots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every node cuts its portion into k*p sublists and shares the
+	// sizes so all nodes agree on the sublist->processor assignment.
+	cuts := sampling.Boundaries(local, pivots)
+	sizes := sampling.SegmentSizes(cuts, len(local))
+	sizeKeys := make([]record.Key, len(sizes))
+	for i, s := range sizes {
+		sizeKeys[i] = record.Key(s)
+	}
+	allSizes, err := n.AllGather(tagOver, sizeKeys)
+	if err != nil {
+		return nil, err
+	}
+	global := make([]int64, len(sizes))
+	for i := range allSizes {
+		global[i%len(sizes)] += int64(allSizes[i])
+	}
+	assign, err := sampling.AssignSublists(global, cfg.Perf)
+	if err != nil {
+		return nil, err
+	}
+	// owner[s] = processor receiving sublist s.
+	owner := make([]int, len(sizes))
+	for proc, list := range assign {
+		for _, s := range list {
+			owner[s] = proc
+		}
+	}
+
+	// Exchange: this node's sublist s goes to owner[s].  Group the
+	// consecutive sublists per owner into one message.
+	procCuts := make([]int, p-1)
+	prev := 0
+	seg := 0
+	for proc := 0; proc < p-1; proc++ {
+		for seg < len(sizes) && owner[seg] == proc {
+			prev += int(sizes[seg])
+			seg++
+		}
+		procCuts[proc] = prev
+	}
+	return exchangeAndMerge(n, local, procCuts)
+}

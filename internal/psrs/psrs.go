@@ -1,0 +1,286 @@
+// Package psrs implements the paper's in-core foundation (section 3):
+// Parallel Sorting by Regular Sampling on the simulated cluster, in both
+// the homogeneous (Shi & Schaeffer) and heterogeneous (Cérin & Gaudiot)
+// forms, plus an overpartitioning variant (Li & Sevcik) used as the
+// ablation baseline.  The external Algorithm 1 in package extsort
+// follows the same four canonical phases with disks in the loop.
+package psrs
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// Message tags for the algorithm's communication steps.
+const (
+	tagSamples = 100 + iota
+	tagPivots
+	tagPartition
+	tagOver
+	tagQVals
+	tagQWeights
+)
+
+// Strategy selects the pivot-selection scheme.
+type Strategy int
+
+const (
+	// RegularSampling is PSRS: samples at regular positions of the
+	// locally sorted portions, perf-proportional counts.
+	RegularSampling Strategy = iota
+	// Overpartitioning is Li & Sevcik: random samples, k*p sublists,
+	// greedy assignment.  Kept simple: k fixed by Config.OverFactor.
+	Overpartitioning
+	// Quantiles is the variant of the paper's reference [29]: pivots
+	// from merged ε-approximate quantile summaries of the unsorted
+	// portions, removing the sampled-after-sort dependency and the
+	// p^2-sample memory cost on the designated node.
+	Quantiles
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RegularSampling:
+		return "regular-sampling"
+	case Overpartitioning:
+		return "overpartitioning"
+	case Quantiles:
+		return "quantiles"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config parameterises an in-core parallel sort.
+type Config struct {
+	// Perf is the performance vector (all ones = homogeneous).
+	Perf perf.Vector
+	// Strategy selects pivot selection (default RegularSampling).
+	Strategy Strategy
+	// OverFactor is Li & Sevcik's k (sublists per processor) when
+	// Strategy is Overpartitioning (default 4).
+	OverFactor int
+	// QuantileEps is the sketch error bound for the Quantiles
+	// strategy (default 0.01).
+	QuantileEps float64
+	// Seed feeds the random sampling of overpartitioning.
+	Seed int64
+}
+
+// Result reports a parallel in-core sort.
+type Result struct {
+	// Sorted holds each node's final sorted partition; the
+	// concatenation in rank order is the globally sorted output.
+	Sorted [][]record.Key
+	// PartitionSizes is the number of keys each node ended up with.
+	PartitionSizes []int64
+	// Time is the virtual makespan in seconds.
+	Time float64
+	// NodeClocks is each node's final virtual clock.
+	NodeClocks []float64
+}
+
+// Sort runs the configured parallel sort over the cluster.  portions[i]
+// is node i's initial (unsorted, in-memory) data; it is not modified.
+func Sort(c *cluster.Cluster, cfg Config, portions [][]record.Key) (*Result, error) {
+	p := c.P()
+	if len(cfg.Perf) == 0 {
+		cfg.Perf = perf.Homogeneous(p)
+	}
+	if err := cfg.Perf.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Perf) != p || len(portions) != p {
+		return nil, fmt.Errorf("psrs: perf (%d) and portions (%d) must match cluster size %d",
+			len(cfg.Perf), len(portions), p)
+	}
+	if cfg.OverFactor <= 0 {
+		cfg.OverFactor = 4
+	}
+	out := make([][]record.Key, p)
+	err := c.Run(func(n *cluster.Node) error {
+		var sorted []record.Key
+		var err error
+		switch cfg.Strategy {
+		case RegularSampling:
+			sorted, err = sortRegular(n, cfg, portions[n.ID()])
+		case Overpartitioning:
+			sorted, err = sortOver(n, cfg, portions[n.ID()])
+		case Quantiles:
+			sorted, err = sortQuantiles(n, cfg, portions[n.ID()])
+		default:
+			err = fmt.Errorf("psrs: unknown strategy %d", cfg.Strategy)
+		}
+		out[n.ID()] = sorted
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Sorted:         out,
+		PartitionSizes: make([]int64, p),
+		NodeClocks:     make([]float64, p),
+	}
+	for i := range out {
+		res.PartitionSizes[i] = int64(len(out[i]))
+		res.NodeClocks[i] = c.Node(i).Clock()
+	}
+	res.Time = c.MaxClock()
+	return res, nil
+}
+
+// localSort sorts a copy of the portion, charging n log n compute.
+func localSort(n *cluster.Node, portion []record.Key) []record.Key {
+	local := append([]record.Key(nil), portion...)
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	n.ChargeCompute(nLogN(int64(len(local))))
+	return local
+}
+
+// sortRegular is PSRS phases 1-4 generalized to perf vectors.
+func sortRegular(n *cluster.Node, cfg Config, portion []record.Key) ([]record.Key, error) {
+	p, id := n.P(), n.ID()
+	local := localSort(n, portion)
+
+	// Phase 2: perf-proportional regular samples, gathered on node 0.
+	var samples []record.Key
+	if p > 1 {
+		spacing, _, err := sampling.HeteroSpacing(int64(len(local)), cfg.Perf[id], p)
+		if err != nil {
+			// Portion too small for regular spacing: sample everything.
+			samples = append([]record.Key(nil), local...)
+		} else {
+			samples = sampling.RegularSamples(local, spacing)
+		}
+	}
+	gathered, err := n.Gather(0, tagSamples, samples)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []record.Key
+	if id == 0 {
+		var cands []record.Key
+		for _, g := range gathered {
+			cands = append(cands, g...)
+		}
+		n.ChargeCompute(nLogN(int64(len(cands))))
+		pivots, err = sampling.SelectPivotsRegular(cands, cfg.Perf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pivots, err = n.Bcast(0, tagPivots, pivots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: partition the sorted portion at the pivots (binary
+	// search: charge log per pivot).
+	cuts := sampling.Boundaries(local, pivots)
+	n.ChargeCompute(int64(len(pivots)) * nLogN(2)) // ~log(len) each; cheap
+
+	// Phase 4: exchange partition j -> node j, then merge.
+	return exchangeAndMerge(n, local, cuts)
+}
+
+// exchangeAndMerge sends segment j of local (delimited by cuts) to node
+// j, receives this node's segments from everyone, and k-way merges them.
+func exchangeAndMerge(n *cluster.Node, local []record.Key, cuts []int) ([]record.Key, error) {
+	p, id := n.P(), n.ID()
+	prev := 0
+	for j := 0; j < p; j++ {
+		end := len(local)
+		if j < len(cuts) {
+			end = cuts[j]
+		}
+		if err := n.Send(j, tagPartition, local[prev:end]); err != nil {
+			return nil, err
+		}
+		prev = end
+	}
+	parts := make([][]record.Key, p)
+	for j := 0; j < p; j++ {
+		got, err := n.Recv(j, tagPartition)
+		if err != nil {
+			return nil, err
+		}
+		parts[j] = got
+	}
+	_ = id
+	return mergeParts(n, parts), nil
+}
+
+// mergeParts k-way merges sorted slices, charging log(p) per output key.
+func mergeParts(n *cluster.Node, parts [][]record.Key) []record.Key {
+	var total int
+	for _, q := range parts {
+		total += len(q)
+	}
+	out := make([]record.Key, 0, total)
+	type head struct {
+		k        record.Key
+		src, pos int
+	}
+	var heads []head
+	for s, q := range parts {
+		if len(q) > 0 {
+			heads = append(heads, head{k: q[0], src: s, pos: 0})
+		}
+	}
+	// Simple heap-free selection for small p would be fine, but use a
+	// proper heap so compute charges scale like a real merge.
+	less := func(a, b head) bool { return a.k < b.k }
+	siftDown := func(i int) {
+		for {
+			l, r, sm := 2*i+1, 2*i+2, i
+			if l < len(heads) && less(heads[l], heads[sm]) {
+				sm = l
+			}
+			if r < len(heads) && less(heads[r], heads[sm]) {
+				sm = r
+			}
+			if sm == i {
+				return
+			}
+			heads[i], heads[sm] = heads[sm], heads[i]
+			i = sm
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	var ops int64
+	for len(heads) > 0 {
+		h := heads[0]
+		out = append(out, h.k)
+		q := parts[h.src]
+		if h.pos+1 < len(q) {
+			heads[0] = head{k: q[h.pos+1], src: h.src, pos: h.pos + 1}
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		siftDown(0)
+		ops += 2
+	}
+	n.ChargeCompute(ops)
+	return out
+}
+
+// nLogN approximates comparison counts for charging compute time.
+func nLogN(n int64) int64 {
+	if n <= 1 {
+		return n
+	}
+	var lg int64
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return n * lg
+}

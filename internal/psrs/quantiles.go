@@ -1,0 +1,93 @@
+package psrs
+
+import (
+	"fmt"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/quantile"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+// sortQuantiles is the variant of [29] (Cérin & Gaudiot, HiPC 2000)
+// the paper references in section 3.2: pivots come from ε-approximate
+// quantile summaries instead of regular samples of the sorted portions.
+// Each node streams its *unsorted* portion through a Greenwald-Khanna
+// sketch (so pivot selection does not depend on the local sort), ships
+// the compressed sketch to node 0, which merges them and reads the
+// p-1 pivots off the cumulative-performance quantiles.  The remaining
+// phases are identical to PSRS.
+func sortQuantiles(n *cluster.Node, cfg Config, portion []record.Key) ([]record.Key, error) {
+	p, id := n.P(), n.ID()
+
+	// Build the sketch over the unsorted data (one streaming pass).
+	eps := cfg.QuantileEps
+	if eps <= 0 {
+		eps = 0.01
+	}
+	sk, err := quantile.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	sk.InsertAll(portion)
+	n.ChargeCompute(int64(len(portion))) // ~O(1) amortised per insert
+
+	// Serialise as (values, weights) and gather on node 0.  Weights
+	// are shipped as keys (they fit: portions are < 2^32).
+	vals, weights := sk.Export()
+	wk := make([]record.Key, len(weights))
+	for i, w := range weights {
+		if w > int64(^record.Key(0)) {
+			return nil, fmt.Errorf("psrs: sketch weight %d overflows the wire format", w)
+		}
+		wk[i] = record.Key(w)
+	}
+	gv, err := n.Gather(0, tagQVals, vals)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := n.Gather(0, tagQWeights, wk)
+	if err != nil {
+		return nil, err
+	}
+
+	var pivots []record.Key
+	if id == 0 {
+		merged, err := quantile.New(eps)
+		if err != nil {
+			return nil, err
+		}
+		for i := range gv {
+			ws := make([]int64, len(gw[i]))
+			for j, w := range gw[i] {
+				ws[j] = int64(w)
+			}
+			s, err := quantile.FromExport(eps, gv[i], ws)
+			if err != nil {
+				return nil, fmt.Errorf("psrs: node %d sketch: %w", i, err)
+			}
+			merged.Merge(s)
+		}
+		n.ChargeCompute(int64(merged.TupleCount()) * 8)
+		sum := cfg.Perf.Sum()
+		pivots = make([]record.Key, p-1)
+		var cum int64
+		for j := 0; j < p-1; j++ {
+			cum += int64(cfg.Perf[j])
+			pv, err := merged.Query(float64(cum) / float64(sum))
+			if err != nil {
+				return nil, err
+			}
+			pivots[j] = pv
+		}
+	}
+	pivots, err = n.Bcast(0, tagPivots, pivots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local sort happens after pivot selection in this variant.
+	local := localSort(n, portion)
+	cuts := sampling.Boundaries(local, pivots)
+	return exchangeAndMerge(n, local, cuts)
+}

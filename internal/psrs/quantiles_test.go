@@ -1,0 +1,71 @@
+package psrs
+
+import (
+	"testing"
+
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+	"hetsort/internal/sampling"
+)
+
+func TestQuantilesSortHomogeneous(t *testing.T) {
+	v := perf.Homogeneous(4)
+	c := newCluster(t, v)
+	keys := record.Uniform.Generate(40000, 21, 4)
+	res, err := Sort(c, Config{Perf: v, Strategy: Quantiles}, splitPortions(keys, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGlobalSort(t, res, keys)
+	// Quantile pivots should balance within the sketch error band.
+	if exp := sampling.SublistExpansion(res.PartitionSizes); exp > 1.15 {
+		t.Fatalf("expansion %v too high for eps=0.01 sketches", exp)
+	}
+}
+
+func TestQuantilesSortHeterogeneous(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	c := newCluster(t, v)
+	n := v.NearestValidSize(40000)
+	keys := record.Uniform.Generate(int(n), 22, 4)
+	res, err := Sort(c, Config{Perf: v, Strategy: Quantiles, QuantileEps: 0.005},
+		splitPortions(keys, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGlobalSort(t, res, keys)
+	exp, err := sampling.WeightedExpansion(res.PartitionSizes, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantile pivots are not grid-limited like regular sampling, so
+	// the weighted expansion should beat the 1.25 quantization band.
+	if exp > 1.15 {
+		t.Fatalf("weighted expansion %v — quantile pivots should balance better", exp)
+	}
+}
+
+func TestQuantilesAllDistributions(t *testing.T) {
+	v := perf.Vector{1, 2}
+	for _, d := range record.Distributions() {
+		t.Run(d.String(), func(t *testing.T) {
+			c := newCluster(t, v)
+			n := v.NearestValidSize(9000)
+			keys := d.Generate(int(n), 23, 2)
+			res, err := Sort(c, Config{Perf: v, Strategy: Quantiles}, splitPortions(keys, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyGlobalSort(t, res, keys)
+		})
+	}
+}
+
+func TestQuantilesStrategyString(t *testing.T) {
+	if Quantiles.String() != "quantiles" {
+		t.Fatal("strategy string")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy string empty")
+	}
+}

@@ -1,0 +1,38 @@
+package quantile
+
+import (
+	"testing"
+
+	"hetsort/internal/record"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	keys := record.Uniform.Generate(1<<16, 1, 1)
+	b.SetBytes(record.KeySize)
+	s, _ := New(0.01)
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	s, _ := New(0.01)
+	s.InsertAll(record.Uniform.Generate(1<<16, 1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	base := record.Uniform.Generate(1<<14, 1, 1)
+	for i := 0; i < b.N; i++ {
+		a, _ := New(0.01)
+		c, _ := New(0.01)
+		a.InsertAll(base)
+		c.InsertAll(base)
+		a.Merge(c)
+	}
+}

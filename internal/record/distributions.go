@@ -1,0 +1,175 @@
+package record
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution identifies one of the eight benchmark inputs ("benchmark
+// 0" in the paper's tables is the uniform-random one; the suite has
+// eight).
+type Distribution int
+
+const (
+	// Uniform draws keys uniformly at random over the full 32-bit
+	// range.  This is "benchmark 0", the input of Tables 2 and 3.
+	Uniform Distribution = iota
+	// Gaussian sums four uniform draws, concentrating mass around the
+	// middle of the key range.
+	Gaussian
+	// Zipf draws from a heavily skewed distribution producing many
+	// duplicates of small keys (tests the duplicate-handling claims of
+	// paper section 3.1).
+	Zipf
+	// Sorted is already non-decreasing (best case for sampling, worst
+	// case for naive pivot choice).
+	Sorted
+	// Reverse is strictly decreasing.
+	Reverse
+	// NearlySorted is sorted with 1% of positions randomly perturbed.
+	NearlySorted
+	// Bucket concentrates each p-th of the input into its own value
+	// range (the "bucket sorted" input of Blelloch et al.).
+	Bucket
+	// Staggered is the staggered distribution of Li & Sevcik: block i
+	// holds values that interleave adversarially for naive splitters.
+	Staggered
+
+	// NumDistributions is the size of the benchmark suite.
+	NumDistributions = 8
+)
+
+// Distributions lists the whole suite in benchmark order.
+func Distributions() []Distribution {
+	ds := make([]Distribution, NumDistributions)
+	for i := range ds {
+		ds[i] = Distribution(i)
+	}
+	return ds
+}
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Zipf:
+		return "zipf"
+	case Sorted:
+		return "sorted"
+	case Reverse:
+		return "reverse"
+	case NearlySorted:
+		return "nearly-sorted"
+	case Bucket:
+		return "bucket"
+	case Staggered:
+		return "staggered"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a name (as produced by String) back to a
+// Distribution.
+func ParseDistribution(name string) (Distribution, error) {
+	for _, d := range Distributions() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("record: unknown distribution %q", name)
+}
+
+// Generate produces n keys of distribution d using the given seed.  The
+// parts parameter is the number of cluster nodes the input will be
+// partitioned over; it shapes Bucket and Staggered (which are defined
+// relative to the processor count) and is ignored by the others.  parts
+// must be >= 1.
+func (d Distribution) Generate(n int, seed int64, parts int) []Key {
+	if n < 0 {
+		panic("record: negative input size")
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	r := rng(seed)
+	out := make([]Key, n)
+	switch d {
+	case Uniform:
+		for i := range out {
+			out[i] = Key(r.Uint32())
+		}
+	case Gaussian:
+		for i := range out {
+			s := uint64(r.Uint32()) + uint64(r.Uint32()) + uint64(r.Uint32()) + uint64(r.Uint32())
+			out[i] = Key(s / 4)
+		}
+	case Zipf:
+		// Discrete zipf over 2^16 distinct values, s=1.2, scaled to
+		// spread over the key range so ordering is still meaningful.
+		z := rand.NewZipf(r, 1.2, 1, 1<<16-1)
+		for i := range out {
+			out[i] = Key(z.Uint64() << 12)
+		}
+	case Sorted:
+		step := math.MaxUint32 / float64(max(n, 1))
+		for i := range out {
+			out[i] = Key(float64(i) * step)
+		}
+	case Reverse:
+		step := math.MaxUint32 / float64(max(n, 1))
+		for i := range out {
+			out[i] = Key(float64(n-1-i) * step)
+		}
+	case NearlySorted:
+		step := math.MaxUint32 / float64(max(n, 1))
+		for i := range out {
+			out[i] = Key(float64(i) * step)
+		}
+		swaps := n / 100
+		for s := 0; s < swaps; s++ {
+			i, j := r.Intn(n), r.Intn(n)
+			out[i], out[j] = out[j], out[i]
+		}
+	case Bucket:
+		// parts ranges; element i belongs to range i*parts/n.
+		width := uint64(math.MaxUint32) / uint64(parts)
+		for i := range out {
+			b := uint64(i * parts / max(n, 1))
+			out[i] = Key(b*width + uint64(r.Uint32())%max64(width, 1))
+		}
+	case Staggered:
+		// Li & Sevcik staggered: block i gets values from range
+		// (2i+1) mod parts — adjacent blocks hold distant ranges.
+		width := uint64(math.MaxUint32) / uint64(parts)
+		blockLen := max(n/parts, 1)
+		for i := range out {
+			blk := i / blockLen
+			if blk >= parts {
+				blk = parts - 1
+			}
+			rangeIdx := uint64((2*blk + 1) % parts)
+			out[i] = Key(rangeIdx*width + uint64(r.Uint32())%max64(width, 1))
+		}
+	default:
+		panic(fmt.Sprintf("record: unknown distribution %d", int(d)))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,276 @@
+package record
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	buf := make([]byte, KeySize)
+	for _, k := range []Key{0, 1, 0xdeadbeef, 0xffffffff} {
+		PutKey(buf, k)
+		if got := GetKey(buf); got != k {
+			t.Fatalf("round trip %x -> %x", k, got)
+		}
+	}
+}
+
+func TestEncodeDecodeKeys(t *testing.T) {
+	keys := []Key{5, 0, 42, 0xffffffff, 7}
+	buf := EncodeKeys(nil, keys)
+	if len(buf) != KeySize*len(keys) {
+		t.Fatalf("encoded length %d", len(buf))
+	}
+	got := DecodeKeys(nil, buf)
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys", len(got))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: %d != %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	buf := EncodeKeys([]byte{0xaa}, []Key{1})
+	if len(buf) != 1+KeySize || buf[0] != 0xaa {
+		t.Fatalf("EncodeKeys must append: %v", buf)
+	}
+}
+
+func TestDecodePanicsOnRaggedBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeKeys(nil, make([]byte, 5))
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(keys []Key) bool {
+		got := DecodeKeys(nil, EncodeKeys(nil, keys))
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]Key{1}) || !IsSorted([]Key{1, 1, 2}) {
+		t.Fatal("sorted inputs misclassified")
+	}
+	if IsSorted([]Key{2, 1}) {
+		t.Fatal("unsorted input classified sorted")
+	}
+}
+
+func TestChecksumPermutationInvariant(t *testing.T) {
+	f := func(keys []Key) bool {
+		a := ChecksumOf(keys)
+		shuffled := append([]Key(nil), keys...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := int(shuffled[i]) % (i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		return a.Equal(ChecksumOf(shuffled))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsLoss(t *testing.T) {
+	a := ChecksumOf([]Key{1, 2, 3})
+	b := ChecksumOf([]Key{1, 2})
+	if a.Equal(b) {
+		t.Fatal("checksum missed dropped key")
+	}
+}
+
+func TestChecksumDetectsMutation(t *testing.T) {
+	a := ChecksumOf([]Key{1, 2, 3})
+	b := ChecksumOf([]Key{1, 2, 4})
+	if a.Equal(b) {
+		t.Fatal("checksum missed mutated key")
+	}
+}
+
+func TestChecksumCombineMatchesUnion(t *testing.T) {
+	x := []Key{9, 9, 1}
+	y := []Key{7, 0}
+	var c Checksum
+	c.Update(x)
+	c.Combine(ChecksumOf(y))
+	if !c.Equal(ChecksumOf(append(append([]Key{}, x...), y...))) {
+		t.Fatal("Combine != union")
+	}
+}
+
+func TestDistributionsSuiteSize(t *testing.T) {
+	ds := Distributions()
+	if len(ds) != NumDistributions || NumDistributions != 8 {
+		t.Fatalf("suite size %d", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		s := d.String()
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestParseDistributionRoundTrip(t *testing.T) {
+	for _, d := range Distributions() {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Fatalf("parse %q: %v %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestGenerateLengthAndDeterminism(t *testing.T) {
+	for _, d := range Distributions() {
+		a := d.Generate(1000, 42, 4)
+		b := d.Generate(1000, 42, 4)
+		if len(a) != 1000 {
+			t.Fatalf("%v: length %d", d, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: not deterministic at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	a := Uniform.Generate(1000, 1, 4)
+	b := Uniform.Generate(1000, 2, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical uniform input")
+	}
+}
+
+func TestSortedAndReverseShapes(t *testing.T) {
+	s := Sorted.Generate(500, 0, 4)
+	if !IsSorted(s) {
+		t.Fatal("Sorted not sorted")
+	}
+	r := Reverse.Generate(500, 0, 4)
+	for i := 1; i < len(r); i++ {
+		if r[i] > r[i-1] {
+			t.Fatal("Reverse not non-increasing")
+		}
+	}
+}
+
+func TestNearlySortedIsMostlySorted(t *testing.T) {
+	a := NearlySorted.Generate(10000, 3, 4)
+	inversions := 0
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("nearly-sorted should have some disorder")
+	}
+	if inversions > len(a)/10 {
+		t.Fatalf("nearly-sorted too disordered: %d inversions", inversions)
+	}
+}
+
+func TestZipfHasManyDuplicates(t *testing.T) {
+	a := Zipf.Generate(10000, 7, 4)
+	distinct := map[Key]bool{}
+	for _, k := range a {
+		distinct[k] = true
+	}
+	if len(distinct) > len(a)/2 {
+		t.Fatalf("zipf not duplicate-heavy: %d distinct of %d", len(distinct), len(a))
+	}
+}
+
+func TestBucketRangesDisjoint(t *testing.T) {
+	const n, parts = 8000, 4
+	a := Bucket.Generate(n, 5, parts)
+	// Each quarter of the input must stay in its own value range.
+	for q := 0; q < parts; q++ {
+		lo, hi := ^Key(0), Key(0)
+		for _, k := range a[q*n/parts : (q+1)*n/parts] {
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		width := uint64(^uint32(0)) / parts
+		if uint64(lo) < uint64(q)*width || uint64(hi) > uint64(q+1)*width {
+			t.Fatalf("bucket %d leaked outside its range [%d,%d]", q, lo, hi)
+		}
+	}
+}
+
+func TestStaggeredBlocksAreDistant(t *testing.T) {
+	const n, parts = 8000, 8
+	a := Staggered.Generate(n, 5, parts)
+	blockLen := n / parts
+	medians := make([]Key, parts)
+	for b := 0; b < parts; b++ {
+		blk := append([]Key{}, a[b*blockLen:(b+1)*blockLen]...)
+		sort.Slice(blk, func(i, j int) bool { return blk[i] < blk[j] })
+		medians[b] = blk[len(blk)/2]
+	}
+	// Adjacent blocks should not be in adjacent value ranges everywhere.
+	adjacentClose := 0
+	width := uint64(^uint32(0)) / parts
+	for b := 1; b < parts; b++ {
+		diff := int64(medians[b]) - int64(medians[b-1])
+		if diff < 0 {
+			diff = -diff
+		}
+		if uint64(diff) <= width {
+			adjacentClose++
+		}
+	}
+	if adjacentClose == parts-1 {
+		t.Fatal("staggered blocks look contiguous, not staggered")
+	}
+}
+
+func TestGenerateZeroAndPanics(t *testing.T) {
+	if got := Uniform.Generate(0, 1, 4); len(got) != 0 {
+		t.Fatal("zero-length generation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative n")
+		}
+	}()
+	Uniform.Generate(-1, 1, 4)
+}

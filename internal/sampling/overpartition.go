@@ -1,0 +1,88 @@
+package sampling
+
+import (
+	"fmt"
+
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+// Overpartitioning (Li & Sevcik, "Parallel sorting by overpartitioning")
+// replaces regular sampling's initial sort with random pivots, creating
+// k*p sublists — more sublists than processors — that are then assigned
+// to processors to even out the load.  The paper discusses it as the
+// main competitor of PSRS (section 3.3) and re-uses its pivot-count
+// analysis for the heterogeneous pivot rule, so we implement it as a
+// baseline for the ablation benches.
+
+// OverpartitionPivots sorts the candidates and picks k*p-1 pivots
+// regularly, defining k*p sublists.
+func OverpartitionPivots(candidates []record.Key, p, k int) ([]record.Key, error) {
+	if p < 1 || k < 1 {
+		return nil, fmt.Errorf("sampling: bad overpartition p=%d k=%d", p, k)
+	}
+	return SelectPivots(candidates, p*k)
+}
+
+// AssignSublists distributes the k*p sublists (given by their sizes) to
+// p processors with the longest-processing-time greedy rule, weighted by
+// the perf vector: each sublist goes to the processor with the smallest
+// ratio of assigned load to relative speed.  It returns, per processor,
+// the indices of the sublists it receives (each contiguous run of
+// indices keeps the global order sortable: processor assignment here is
+// by *consecutive blocks*, preserving the sorted concatenation order).
+//
+// Li & Sevcik assign chunks of consecutive sublists so that the
+// concatenation across processors in rank order remains globally
+// sorted; we follow that: the assignment is a partition of 0..kp-1 into
+// p consecutive ranges, chosen to minimise the worst weighted load by
+// sweeping cut positions greedily.
+func AssignSublists(sizes []int64, v perf.Vector) ([][]int, error) {
+	p := len(v)
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sizes) < p {
+		return nil, fmt.Errorf("sampling: %d sublists for %d processors", len(sizes), p)
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	sum := float64(v.Sum())
+	// Greedy sweep: processor i takes sublists until its weighted load
+	// reaches its proportional share of the remainder.
+	out := make([][]int, p)
+	idx := 0
+	for i := 0; i < p; i++ {
+		targetShare := float64(total) * float64(v[i]) / sum
+		var load int64
+		remainingProcs := p - i - 1
+		for idx < len(sizes)-remainingProcs {
+			// Always take at least one sublist if any remain beyond
+			// what later processors minimally need.
+			if load > 0 && float64(load)+float64(sizes[idx])/2 > targetShare {
+				break
+			}
+			out[i] = append(out[i], idx)
+			load += sizes[idx]
+			idx++
+		}
+	}
+	// Any leftovers go to the last processor.
+	for ; idx < len(sizes); idx++ {
+		out[p-1] = append(out[p-1], idx)
+	}
+	return out, nil
+}
+
+// LoadsOf sums the sizes of each processor's assigned sublists.
+func LoadsOf(assign [][]int, sizes []int64) []int64 {
+	loads := make([]int64, len(assign))
+	for i, idxs := range assign {
+		for _, j := range idxs {
+			loads[i] += sizes[j]
+		}
+	}
+	return loads
+}

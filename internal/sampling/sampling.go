@@ -1,0 +1,275 @@
+// Package sampling implements the pivot-selection machinery of the
+// paper: regular sampling (PSRS, Shi & Schaeffer) generalized to
+// heterogeneous performance vectors, the Li–Sevcik overpartitioning
+// alternative, partition-boundary computation, and the sublist-expansion
+// load-balance metric reported in Table 3.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+// RegularSampleIndices returns the sample positions the paper's step 2
+// uses on a locally sorted portion of n keys: with spacing off, the
+// indices off-1, 2*off-1, ... while they fit (the fseek loop of
+// section 4).  For node i the caller passes off = l_i / (perf[i]*p),
+// which makes the spacing equal to unit/p on every node — "between any
+// two consecutive pivots there is the same number of sorted elements".
+func RegularSampleIndices(n, spacing int64) []int64 {
+	if spacing <= 0 || n <= 0 {
+		return nil
+	}
+	var idx []int64
+	for i := spacing - 1; i+spacing <= n; i += spacing {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// HeteroSpacing returns node i's sample spacing l_i/(perf[i]*p) and the
+// number of samples that produces.  It errors when the portion is too
+// small to sample.
+func HeteroSpacing(li int64, perfI, p int) (spacing int64, count int, err error) {
+	if perfI <= 0 || p <= 0 {
+		return 0, 0, fmt.Errorf("sampling: bad perf=%d p=%d", perfI, p)
+	}
+	spacing = li / (int64(perfI) * int64(p))
+	if spacing <= 0 {
+		return 0, 0, fmt.Errorf("sampling: portion %d too small for perf=%d p=%d", li, perfI, p)
+	}
+	return spacing, len(RegularSampleIndices(li, spacing)), nil
+}
+
+// RegularSamples picks the regularly spaced samples out of a sorted
+// in-core slice (the in-core analogue of the fseek loop).
+func RegularSamples(sorted []record.Key, spacing int64) []record.Key {
+	idx := RegularSampleIndices(int64(len(sorted)), spacing)
+	out := make([]record.Key, len(idx))
+	for i, j := range idx {
+		out[i] = sorted[j]
+	}
+	return out
+}
+
+// SelectPivots sorts the gathered candidates and picks p-1 pivots "in a
+// regular way": the candidates at positions j*len/p for j = 1..p-1.
+// This is step 2's final act on the designated node in the homogeneous
+// case.
+func SelectPivots(candidates []record.Key, p int) ([]record.Key, error) {
+	return SelectPivotsWeighted(candidates, perf.Homogeneous(p))
+}
+
+// SelectPivotsRegular picks the p-1 pivots from candidates produced by
+// the *regular* sampling scheme (node i contributes p*perf[i]-1 samples
+// at local quantiles k/(p*perf[i])).  The target quantile for pivot j
+// is the cumulative performance fraction cum_j/Σperf; when that target
+// is not on any node's sample grid, the largest grid point below it is
+// chosen.  Rounding *down* under-fills the slow nodes and lets the
+// excess land on the fast ones — exactly the behaviour visible in the
+// paper's Table 3, where the fast nodes run ~9% above their optimum
+// (S(max)=1.094) while the loaded nodes sit below theirs.  Since the
+// fast nodes have spare capacity, this direction also minimises the
+// makespan.
+func SelectPivotsRegular(candidates []record.Key, v perf.Vector) ([]record.Key, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	p := len(v)
+	if p == 1 {
+		return nil, nil
+	}
+	if len(candidates) == 0 {
+		return make([]record.Key, p-1), nil
+	}
+	sorted := append([]record.Key(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum := float64(v.Sum())
+	pivots := make([]record.Key, p-1)
+	var cum int64
+	for j := 0; j < p-1; j++ {
+		cum += int64(v[j])
+		q := float64(cum) / sum
+		// Largest sample-grid quantile <= q over the node grids.
+		var qLower float64
+		for _, pf := range v {
+			g := float64(p * pf)
+			if ql := math.Floor(q*g+1e-9) / g; ql > qLower {
+				qLower = ql
+			}
+		}
+		// Rank of that grid point in the combined candidate multiset.
+		var rank int64
+		for _, pf := range v {
+			g := float64(p * pf)
+			rank += int64(math.Floor(qLower*g + 1e-9))
+		}
+		idx := int(rank) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		pivots[j] = sorted[idx]
+	}
+	return pivots, nil
+}
+
+// SelectPivotsWeighted generalizes pivot selection to a perf vector: the
+// j-th pivot sits at the cumulative-performance quantile
+// (perf[0]+...+perf[j]) / Σperf of the sorted candidates, so that
+// partition j holds ≈ perf[j]/Σperf of the data — processor j's optimal
+// share.  With an all-ones vector this is exactly homogeneous PSRS pivot
+// selection.
+func SelectPivotsWeighted(candidates []record.Key, v perf.Vector) ([]record.Key, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	p := len(v)
+	if p == 1 {
+		return nil, nil
+	}
+	if len(candidates) == 0 {
+		// Degenerate inputs (near-empty data): any pivots are correct,
+		// if unbalanced; zeros route everything to the last node.
+		return make([]record.Key, p-1), nil
+	}
+	sorted := append([]record.Key(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sum := v.Sum()
+	pivots := make([]record.Key, p-1)
+	var cum int64
+	for j := 0; j < p-1; j++ {
+		cum += int64(v[j])
+		// With the regular-sampling scheme, node i contributes
+		// p*perf[i]-1 candidates at equal global gaps of s keys, so
+		// candidate rank r sits near global rank (r+1)*s and the total
+		// satisfies T+p = n/s.  The pivot for cumulative share cum/Σ
+		// therefore sits at rank cum*(T+p)/Σ - 1.
+		idx := int(cum*int64(len(sorted)+p)/sum) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		pivots[j] = sorted[idx]
+	}
+	return pivots, nil
+}
+
+// RandomSampleIndices returns count distinct random positions in [0,n),
+// sorted ascending — the Li–Sevcik alternative to regular positions.
+func RandomSampleIndices(n int64, count int, seed int64) []int64 {
+	if n <= 0 || count <= 0 {
+		return nil
+	}
+	if int64(count) > n {
+		count = int(n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]bool, count)
+	out := make([]int64, 0, count)
+	for len(out) < count {
+		i := r.Int63n(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Boundaries returns the p-1 cut points that split the sorted slice by
+// the pivots: cut[j] is the index of the first key greater than
+// pivots[j], so segment j is sorted[cut[j-1]:cut[j]] (with implicit
+// cut[-1]=0 and cut[p-1]=len).  Keys equal to a pivot go to the lower
+// segment, the convention of the PSRS papers.
+func Boundaries(sorted []record.Key, pivots []record.Key) []int {
+	cuts := make([]int, len(pivots))
+	for j, pv := range pivots {
+		cuts[j] = sort.Search(len(sorted), func(i int) bool { return sorted[i] > pv })
+	}
+	return cuts
+}
+
+// SegmentSizes converts cut points over a portion of length n into the
+// p segment lengths.
+func SegmentSizes(cuts []int, n int) []int64 {
+	sizes := make([]int64, len(cuts)+1)
+	prev := 0
+	for j, c := range cuts {
+		sizes[j] = int64(c - prev)
+		prev = c
+	}
+	sizes[len(cuts)] = int64(n - prev)
+	return sizes
+}
+
+// SublistExpansion is the load-balance metric of Blelloch et al. used in
+// Table 3: the ratio of the maximum partition size to the mean.  1.0 is
+// perfect balance.
+func SublistExpansion(sizes []int64) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, s := range sizes {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(sizes))
+	return float64(max) / mean
+}
+
+// WeightedExpansion generalizes sublist expansion to heterogeneous
+// clusters: each node's final partition is compared to its *optimal*
+// share total*perf[i]/Σperf, and the worst ratio is returned (the
+// paper's S(max) column for the {1,1,4,4} rows compares the fast nodes'
+// partitions to their optimum 6710888).
+func WeightedExpansion(sizes []int64, v perf.Vector) (float64, error) {
+	if len(sizes) != len(v) {
+		return 0, errors.New("sampling: sizes and perf vector length mismatch")
+	}
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	sum := float64(v.Sum())
+	worst := 0.0
+	for i, s := range sizes {
+		opt := float64(total) * float64(v[i]) / sum
+		if r := float64(s) / opt; r > worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}
+
+// TheoreticalBound returns the PSRS guarantee for the largest final
+// partition on node i: twice its optimal share (the "PSRS Theorem" the
+// paper invokes for step 5), plus d for inputs with d duplicates of the
+// worst key (section 3.1's U+d bound).
+func TheoreticalBound(total int64, v perf.Vector, i int, duplicates int64) float64 {
+	opt := float64(total) * float64(v[i]) / float64(v.Sum())
+	return 2*opt + float64(duplicates)
+}

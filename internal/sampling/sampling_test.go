@@ -1,0 +1,414 @@
+package sampling
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+func TestRegularSampleIndices(t *testing.T) {
+	// n=12, spacing=4 -> indices 3, 7 (11 would leave no full gap after).
+	got := RegularSampleIndices(12, 4)
+	want := []int64{3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRegularSampleIndicesEdge(t *testing.T) {
+	if RegularSampleIndices(0, 4) != nil {
+		t.Error("n=0")
+	}
+	if RegularSampleIndices(10, 0) != nil {
+		t.Error("spacing=0")
+	}
+	if got := RegularSampleIndices(4, 4); got != nil {
+		t.Errorf("single gap should give no samples, got %v", got)
+	}
+}
+
+func TestRegularSampleIndicesEqualGaps(t *testing.T) {
+	// The defining property: equal element counts between consecutive
+	// samples (and before the first).
+	f := func(nRaw uint16, sRaw uint8) bool {
+		n := int64(nRaw%10000) + 1
+		spacing := int64(sRaw%100) + 1
+		idx := RegularSampleIndices(n, spacing)
+		prev := int64(-1)
+		for _, i := range idx {
+			if i-prev != spacing {
+				return false
+			}
+			if i >= n {
+				return false
+			}
+			prev = i
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeteroSpacingEqualAcrossNodes(t *testing.T) {
+	// perf={1,1,4,4}, n=16777220: every node's spacing must equal
+	// unit/p = 1677722/4 rounded the same way.
+	v := perf.Vector{1, 1, 4, 4}
+	shares := v.Shares(16777220)
+	spacings := make([]int64, len(v))
+	for i := range v {
+		s, count, err := HeteroSpacing(shares[i], v[i], len(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spacings[i] = s
+		wantCount := v[i]*len(v) - 1
+		if count != wantCount {
+			t.Errorf("node %d: %d samples, want %d", i, count, wantCount)
+		}
+	}
+	for i := 1; i < len(spacings); i++ {
+		if spacings[i] != spacings[0] {
+			t.Fatalf("spacings differ across nodes: %v", spacings)
+		}
+	}
+}
+
+func TestHeteroSpacingErrors(t *testing.T) {
+	if _, _, err := HeteroSpacing(10, 0, 4); err == nil {
+		t.Error("perf=0 accepted")
+	}
+	if _, _, err := HeteroSpacing(3, 1, 4); err == nil {
+		t.Error("tiny portion accepted")
+	}
+}
+
+func TestRegularSamplesValues(t *testing.T) {
+	sorted := []record.Key{0, 10, 20, 30, 40, 50, 60, 70}
+	got := RegularSamples(sorted, 3)
+	// indices 2, 5 -> 20, 50 (8-3-... idx 2 then 5; next would be 8, out)
+	if len(got) != 2 || got[0] != 20 || got[1] != 50 {
+		t.Fatalf("samples=%v", got)
+	}
+}
+
+func TestSelectPivots(t *testing.T) {
+	cands := []record.Key{90, 10, 50, 30, 70, 20, 80, 40, 60, 100, 0, 55}
+	pv, err := SelectPivots(cands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) != 3 {
+		t.Fatalf("pivots=%v", pv)
+	}
+	if !record.IsSorted(pv) {
+		t.Fatal("pivots must come out sorted")
+	}
+	// With T=12 candidates from p=4 (each node contributing p-1=3 at
+	// equal gaps), pivot j sits at rank j*(T+p)/p - 1: indices 3, 7, 11.
+	sorted := append([]record.Key(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for j, want := range []record.Key{sorted[3], sorted[7], sorted[11]} {
+		if pv[j] != want {
+			t.Fatalf("pivot %d=%d want %d", j, pv[j], want)
+		}
+	}
+}
+
+func TestSelectPivotsEdge(t *testing.T) {
+	if pv, err := SelectPivots([]record.Key{1}, 1); err != nil || pv != nil {
+		t.Error("p=1 should give no pivots")
+	}
+	// Fewer candidates than pivots degrades gracefully (repeated picks).
+	if pv, err := SelectPivots([]record.Key{7}, 3); err != nil || len(pv) != 2 {
+		t.Errorf("tiny candidate set: %v, %v", pv, err)
+	}
+	// No candidates at all: zero pivots route everything to the last node.
+	if pv, err := SelectPivots(nil, 3); err != nil || len(pv) != 2 || pv[0] != 0 {
+		t.Errorf("empty candidate set: %v, %v", pv, err)
+	}
+	if _, err := SelectPivots(nil, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestSelectPivotsDoesNotMutateInput(t *testing.T) {
+	cands := []record.Key{3, 1, 2}
+	if _, err := SelectPivots(cands, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cands[0] != 3 || cands[1] != 1 || cands[2] != 2 {
+		t.Fatal("candidates were mutated")
+	}
+}
+
+func TestRandomSampleIndices(t *testing.T) {
+	idx := RandomSampleIndices(1000, 50, 7)
+	if len(idx) != 50 {
+		t.Fatalf("count=%d", len(idx))
+	}
+	seen := map[int64]bool{}
+	for i, v := range idx {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatal("duplicate index")
+		}
+		seen[v] = true
+		if i > 0 && idx[i-1] > v {
+			t.Fatal("indices not sorted")
+		}
+	}
+	// Deterministic for a seed.
+	idx2 := RandomSampleIndices(1000, 50, 7)
+	for i := range idx {
+		if idx[i] != idx2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomSampleIndicesClamp(t *testing.T) {
+	if got := RandomSampleIndices(3, 10, 1); len(got) != 3 {
+		t.Fatalf("should clamp to n, got %d", len(got))
+	}
+	if RandomSampleIndices(0, 5, 1) != nil || RandomSampleIndices(5, 0, 1) != nil {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestBoundariesAndSegments(t *testing.T) {
+	sorted := []record.Key{1, 2, 2, 3, 5, 5, 5, 9}
+	cuts := Boundaries(sorted, []record.Key{2, 5})
+	// keys <= 2 -> first 3; keys <= 5 -> first 7.
+	if cuts[0] != 3 || cuts[1] != 7 {
+		t.Fatalf("cuts=%v", cuts)
+	}
+	sizes := SegmentSizes(cuts, len(sorted))
+	want := []int64{3, 4, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes=%v want %v", sizes, want)
+		}
+	}
+}
+
+func TestBoundariesExtremes(t *testing.T) {
+	sorted := []record.Key{5, 6, 7}
+	cuts := Boundaries(sorted, []record.Key{0, 100})
+	if cuts[0] != 0 || cuts[1] != 3 {
+		t.Fatalf("cuts=%v", cuts)
+	}
+	sizes := SegmentSizes(cuts, 3)
+	if sizes[0] != 0 || sizes[1] != 3 || sizes[2] != 0 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+}
+
+func TestSegmentSizesSumProperty(t *testing.T) {
+	f := func(keys []record.Key, pivotsRaw []record.Key) bool {
+		sorted := append([]record.Key(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pivots := append([]record.Key(nil), pivotsRaw...)
+		sort.Slice(pivots, func(i, j int) bool { return pivots[i] < pivots[j] })
+		cuts := Boundaries(sorted, pivots)
+		sizes := SegmentSizes(cuts, len(sorted))
+		var sum int64
+		for _, s := range sizes {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == int64(len(sorted))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSublistExpansion(t *testing.T) {
+	if got := SublistExpansion([]int64{4, 4, 4, 4}); got != 1.0 {
+		t.Fatalf("perfect balance expansion=%v", got)
+	}
+	if got := SublistExpansion([]int64{8, 0, 0, 0}); got != 4.0 {
+		t.Fatalf("worst expansion=%v", got)
+	}
+	if got := SublistExpansion(nil); got != 0 {
+		t.Fatalf("empty expansion=%v", got)
+	}
+	if got := SublistExpansion([]int64{0, 0}); got != 0 {
+		t.Fatalf("zero expansion=%v", got)
+	}
+}
+
+func TestWeightedExpansion(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	// Perfectly proportional loads -> 1.0.
+	got, err := WeightedExpansion([]int64{100, 100, 400, 400}, v)
+	if err != nil || got != 1.0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	// A fast node with double its share -> 2.0.
+	got, err = WeightedExpansion([]int64{100, 100, 800, 0}, v)
+	if err != nil || got != 2.0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := WeightedExpansion([]int64{1}, v); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTheoreticalBound(t *testing.T) {
+	v := perf.Vector{1, 1}
+	if got := TheoreticalBound(100, v, 0, 0); got != 100 {
+		t.Fatalf("bound=%v want 100 (2*50)", got)
+	}
+	if got := TheoreticalBound(100, v, 0, 7); got != 107 {
+		t.Fatalf("bound with duplicates=%v want 107", got)
+	}
+}
+
+func TestOverpartitionPivots(t *testing.T) {
+	cands := record.Uniform.Generate(100, 3, 1)
+	pv, err := OverpartitionPivots(cands, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) != 11 { // k*p-1
+		t.Fatalf("pivot count=%d", len(pv))
+	}
+	if !record.IsSorted(pv) {
+		t.Fatal("pivots unsorted")
+	}
+	if _, err := OverpartitionPivots(cands, 0, 3); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestAssignSublistsCoversAllOnce(t *testing.T) {
+	sizes := []int64{5, 9, 2, 7, 7, 1, 3, 8, 4, 6, 2, 5}
+	v := perf.Vector{1, 2, 1}
+	assign, err := AssignSublists(sizes, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(sizes))
+	prevEnd := 0
+	for i, idxs := range assign {
+		for _, j := range idxs {
+			if seen[j] {
+				t.Fatalf("sublist %d assigned twice", j)
+			}
+			seen[j] = true
+			if j < prevEnd {
+				t.Fatalf("processor %d got non-consecutive sublist %d", i, j)
+			}
+		}
+		prevEnd += len(idxs)
+	}
+	for j, s := range seen {
+		if !s {
+			t.Fatalf("sublist %d unassigned", j)
+		}
+	}
+}
+
+func TestAssignSublistsRespectsSpeed(t *testing.T) {
+	sizes := make([]int64, 40)
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	v := perf.Vector{1, 3}
+	assign, err := AssignSublists(sizes, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadsOf(assign, sizes)
+	if loads[1] <= loads[0] {
+		t.Fatalf("fast node should carry more: %v", loads)
+	}
+	ratio := float64(loads[1]) / float64(loads[0])
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("load ratio %v far from speed ratio 3", ratio)
+	}
+}
+
+func TestAssignSublistsErrors(t *testing.T) {
+	if _, err := AssignSublists([]int64{1}, perf.Vector{1, 1}); err == nil {
+		t.Fatal("fewer sublists than processors accepted")
+	}
+	if _, err := AssignSublists([]int64{1, 2}, perf.Vector{0, 1}); err == nil {
+		t.Fatal("invalid vector accepted")
+	}
+}
+
+func TestSelectPivotsRegularHomogeneousMatchesWeighted(t *testing.T) {
+	// On homogeneous vectors (targets on-grid) the two selectors agree.
+	cands := record.Uniform.Generate(12, 3, 1)
+	v := perf.Homogeneous(4)
+	a, err := SelectPivotsRegular(cands, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectPivotsWeighted(cands, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("regular %v != weighted %v", a, b)
+		}
+	}
+}
+
+func TestSelectPivotsRegularFastBias(t *testing.T) {
+	// {1,1,4,4}: the target quantile 0.1 is off-grid; the regular
+	// selector must choose the lower grid point 1/16 (candidate rank
+	// 2, 0-based index 1), under-filling the slow nodes like the paper.
+	v := perf.Vector{1, 1, 4, 4}
+	// Synthesise the exact regular-sampling candidate multiset over a
+	// uniform [0, 160) key space: node grids 1/4 (x2) and 1/16 (x2).
+	var cands []record.Key
+	for _, pf := range v {
+		g := 4 * pf
+		for k := 1; k < g; k++ {
+			cands = append(cands, record.Key(k*160/g))
+		}
+	}
+	pivots, err := SelectPivotsRegular(cands, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q*=0.1 -> lower grid 1/16 -> key 10; q*=0.2 -> 3/16 -> key 30;
+	// q*=0.6 -> 9/16 -> key 90.
+	want := []record.Key{10, 30, 90}
+	for i := range want {
+		if pivots[i] != want[i] {
+			t.Fatalf("pivots=%v want %v", pivots, want)
+		}
+	}
+}
+
+func TestSelectPivotsRegularDegenerate(t *testing.T) {
+	v := perf.Vector{1, 2}
+	if pv, err := SelectPivotsRegular(nil, v); err != nil || len(pv) != 1 {
+		t.Fatalf("empty candidates: %v %v", pv, err)
+	}
+	if _, err := SelectPivotsRegular([]record.Key{1}, perf.Vector{0}); err == nil {
+		t.Fatal("invalid vector accepted")
+	}
+	if pv, err := SelectPivotsRegular([]record.Key{5}, perf.Vector{3}); err != nil || pv != nil {
+		t.Fatalf("p=1: %v %v", pv, err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small statistics and repeated-trial
+// machinery the experiment harness uses to report results the way the
+// paper's tables do: mean execution time over repeated trials plus the
+// standard deviation ("30 experiments" per Table 3 row).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MinMax returns the extremes of xs; it panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Summary condenses repeated measurements of one quantity.
+type Summary struct {
+	Trials int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: no measurements")
+	}
+	min, max := MinMax(xs)
+	return Summary{
+		Trials: len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    min,
+		Max:    max,
+	}, nil
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.5f ± %.5f (n=%d)", s.Mean, s.StdDev, s.Trials)
+}
+
+// Repeat runs trial(i) for i in [0, n) and summarizes the returned
+// measurements.  The first error aborts.
+func Repeat(n int, trial func(i int) (float64, error)) (Summary, error) {
+	if n <= 0 {
+		return Summary{}, errors.New("stats: trial count must be positive")
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x, err := trial(i)
+		if err != nil {
+			return Summary{}, fmt.Errorf("stats: trial %d: %w", i, err)
+		}
+		xs = append(xs, x)
+	}
+	return Summarize(xs)
+}
+
+// Table renders rows of columns with right-aligned cells under a header,
+// in the plain monospace style of the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.5g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean=%v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev=%v", got)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax=%v,%v", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty summarize accepted")
+	}
+	if !strings.Contains(s.String(), "n=2") {
+		t.Fatalf("String=%q", s.String())
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s, err := Repeat(5, func(i int) (float64, error) { return float64(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 5 || s.Mean != 2 {
+		t.Fatalf("%+v", s)
+	}
+	boom := errors.New("boom")
+	if _, err := Repeat(3, func(i int) (float64, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return 0, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := Repeat(0, nil); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Table X", Headers: []string{"Input", "Time (s)"}}
+	tb.AddRow(2097152, 22.92146)
+	tb.AddRow(4194304, 51.17832)
+	out := tb.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "2097152") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two data rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: both data lines same length.
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+}

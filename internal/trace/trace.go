@@ -1,0 +1,192 @@
+// Package trace records structured events from a simulated cluster run
+// — phase transitions, messages, per-node progress — with virtual
+// timestamps, and renders them as a readable timeline.  It exists for
+// debugging the algorithms and for inspecting where virtual time goes;
+// the experiment harness can attach a tracer to any run.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// PhaseBegin marks a node entering a named phase.
+	PhaseBegin Kind = iota
+	// PhaseEnd marks a node leaving a named phase.
+	PhaseEnd
+	// MessageSent records a point-to-point send (Detail = "to:N keys:K").
+	MessageSent
+	// MessageReceived records a receive (Detail = "from:N keys:K").
+	MessageReceived
+	// Mark is a free-form annotation.
+	Mark
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PhaseBegin:
+		return "phase-begin"
+	case PhaseEnd:
+		return "phase-end"
+	case MessageSent:
+		return "send"
+	case MessageReceived:
+		return "recv"
+	case Mark:
+		return "mark"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Node   int
+	Clock  float64 // virtual time at which it happened
+	Kind   Kind
+	Label  string // phase name or annotation
+	Detail string
+}
+
+// Log collects events from concurrently running nodes.  The zero value
+// is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event.
+func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the events sorted by (clock, node).
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Clock != out[j].Clock {
+			return out[i].Clock < out[j].Clock
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.mu.Unlock()
+}
+
+// PhaseSpan is a completed phase on one node.
+type PhaseSpan struct {
+	Node       int
+	Label      string
+	Begin, End float64
+}
+
+// Duration returns the span length.
+func (s PhaseSpan) Duration() float64 { return s.End - s.Begin }
+
+// Spans pairs PhaseBegin/PhaseEnd events per node and label, in begin
+// order.  Unclosed phases are dropped.
+func (l *Log) Spans() []PhaseSpan {
+	type key struct {
+		node  int
+		label string
+	}
+	open := map[key]float64{}
+	var spans []PhaseSpan
+	for _, e := range l.Events() {
+		k := key{e.Node, e.Label}
+		switch e.Kind {
+		case PhaseBegin:
+			open[k] = e.Clock
+		case PhaseEnd:
+			if b, ok := open[k]; ok {
+				spans = append(spans, PhaseSpan{Node: e.Node, Label: e.Label, Begin: b, End: e.Clock})
+				delete(open, k)
+			}
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Begin != spans[j].Begin {
+			return spans[i].Begin < spans[j].Begin
+		}
+		return spans[i].Node < spans[j].Node
+	})
+	return spans
+}
+
+// Timeline renders the event log as one line per event.
+func (l *Log) Timeline() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%12.6fs  node%-2d  %-11s %s", e.Clock, e.Node, e.Kind, e.Label)
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Gantt renders the phase spans as a proportional text chart, one row
+// per (node, phase), width columns wide.
+func (l *Log) Gantt(width int) string {
+	spans := l.Spans()
+	if len(spans) == 0 {
+		return "(no phases recorded)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	var max float64
+	for _, s := range spans {
+		if s.End > max {
+			max = s.End
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	labelW := 0
+	for _, s := range spans {
+		if n := len(s.Label); n > labelW {
+			labelW = n
+		}
+	}
+	for _, s := range spans {
+		begin := int(s.Begin / max * float64(width))
+		end := int(s.End / max * float64(width))
+		if end <= begin {
+			end = begin + 1
+		}
+		fmt.Fprintf(&b, "node%-2d %-*s |%s%s%s| %8.3fs\n",
+			s.Node, labelW, s.Label,
+			strings.Repeat(" ", begin),
+			strings.Repeat("=", end-begin),
+			strings.Repeat(" ", width-end),
+			s.Duration())
+	}
+	return b.String()
+}

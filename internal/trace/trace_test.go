@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PhaseBegin: "phase-begin", PhaseEnd: "phase-end",
+		MessageSent: "send", MessageReceived: "recv", Mark: "mark",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestAddAndEventsSorted(t *testing.T) {
+	var l Log
+	l.Add(Event{Node: 1, Clock: 2.0, Kind: Mark, Label: "b"})
+	l.Add(Event{Node: 0, Clock: 1.0, Kind: Mark, Label: "a"})
+	l.Add(Event{Node: 0, Clock: 2.0, Kind: Mark, Label: "c"})
+	ev := l.Events()
+	if len(ev) != 3 || l.Len() != 3 {
+		t.Fatalf("events %v", ev)
+	}
+	if ev[0].Label != "a" || ev[1].Label != "c" || ev[2].Label != "b" {
+		t.Fatalf("order %v", ev)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add(Event{Node: n, Clock: float64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("lost events: %d", l.Len())
+	}
+}
+
+func TestSpans(t *testing.T) {
+	var l Log
+	l.Add(Event{Node: 0, Clock: 1, Kind: PhaseBegin, Label: "sort"})
+	l.Add(Event{Node: 1, Clock: 2, Kind: PhaseBegin, Label: "sort"})
+	l.Add(Event{Node: 0, Clock: 5, Kind: PhaseEnd, Label: "sort"})
+	l.Add(Event{Node: 1, Clock: 7, Kind: PhaseEnd, Label: "sort"})
+	l.Add(Event{Node: 0, Clock: 9, Kind: PhaseBegin, Label: "dangling"})
+	spans := l.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans %v", spans)
+	}
+	if spans[0].Duration() != 4 || spans[1].Duration() != 5 {
+		t.Fatalf("durations %v", spans)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var l Log
+	l.Add(Event{})
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	var l Log
+	l.Add(Event{Node: 2, Clock: 0.5, Kind: MessageSent, Label: "tag7", Detail: "to:1 keys:10"})
+	out := l.Timeline()
+	for _, frag := range []string{"node2", "send", "tag7", "to:1 keys:10"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("timeline missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	var l Log
+	if !strings.Contains(l.Gantt(40), "no phases") {
+		t.Error("empty gantt")
+	}
+	l.Add(Event{Node: 0, Clock: 0, Kind: PhaseBegin, Label: "a"})
+	l.Add(Event{Node: 0, Clock: 5, Kind: PhaseEnd, Label: "a"})
+	l.Add(Event{Node: 1, Clock: 5, Kind: PhaseBegin, Label: "b"})
+	l.Add(Event{Node: 1, Clock: 10, Kind: PhaseEnd, Label: "b"})
+	out := l.Gantt(40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt:\n%s", out)
+	}
+	// The two equal-length phases should render equal-length bars.
+	c0 := strings.Count(lines[0], "=")
+	c1 := strings.Count(lines[1], "=")
+	if c0 == 0 || c1 == 0 || c0-c1 > 1 || c1-c0 > 1 {
+		t.Fatalf("bars %d vs %d:\n%s", c0, c1, out)
+	}
+}

@@ -1,0 +1,50 @@
+package vtime
+
+import "testing"
+
+func TestNopImplementsMeter(t *testing.T) {
+	var m Meter = Nop{}
+	// Must be callable without effect or panic.
+	m.ChargeCompute(1 << 40)
+	m.ChargeIOBlocks(-5)
+	m.ChargeSeek(0)
+}
+
+func TestDefaultCostModelCalibration(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.ComputeSec <= 0 || cm.IOBlockSecPerKey <= 0 || cm.SeekSec <= 0 {
+		t.Fatalf("non-positive costs: %+v", cm)
+	}
+	// The calibration target: polyphase-sorting 2^21 keys costs about
+	// 2^21*21 comparisons worth of compute plus ~3 read+write passes,
+	// and must land in the paper's ~23 s ballpark.
+	n := float64(1 << 21)
+	est := n*21*cm.ComputeSec + 6*n*cm.IOBlockSecPerKey
+	if est < 10 || est > 40 {
+		t.Fatalf("calibration estimate %v s far from the paper's 22.92 s", est)
+	}
+	// A seek must cost orders of magnitude more than one key transfer
+	// (the premise of out-of-core algorithm design).
+	if cm.SeekSec < 100*cm.IOBlockSecPerKey {
+		t.Fatal("seeks should dwarf streaming transfers")
+	}
+}
+
+type capture struct {
+	compute, blocks, seeks int64
+}
+
+func (c *capture) ChargeCompute(n int64)  { c.compute += n }
+func (c *capture) ChargeIOBlocks(n int64) { c.blocks += n }
+func (c *capture) ChargeSeek(n int64)     { c.seeks += n }
+
+func TestMeterInterfaceContract(t *testing.T) {
+	var m Meter = &capture{}
+	m.ChargeCompute(3)
+	m.ChargeIOBlocks(2)
+	m.ChargeSeek(1)
+	c := m.(*capture)
+	if c.compute != 3 || c.blocks != 2 || c.seeks != 1 {
+		t.Fatalf("capture %+v", c)
+	}
+}

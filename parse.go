@@ -1,0 +1,43 @@
+package hetsort
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePerf parses a comma-separated perf vector such as "1,1,4,4".
+// Entries must be positive integers.
+func ParsePerf(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("hetsort: bad perf entry %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("hetsort: perf entry %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseLoads parses a comma-separated load vector such as "4,4,1,1".
+// Entries must be >= 1.
+func ParseLoads(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("hetsort: bad load %q: %w", p, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("hetsort: load %v must be >= 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package hetsort
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsort/internal/extsort"
+	"hetsort/internal/perf"
+	"hetsort/internal/sampling"
+	"hetsort/internal/trace"
+)
+
+// Report describes one sort run: virtual time, per-step breakdown,
+// final load balance, and I/O counts — the quantities the paper's
+// evaluation tables report.
+type Report struct {
+	// Time is the virtual execution time in seconds (the makespan of
+	// the simulated cluster).
+	Time float64
+	// StepTimes breaks Time down over the five steps of Algorithm 1,
+	// in order: sequential sort, pivot selection, partitioning,
+	// redistribution, final merge.
+	StepTimes [5]float64
+	// StepNames labels StepTimes.
+	StepNames [5]string
+	// PartitionSizes is the final number of keys on each node.
+	PartitionSizes []int64
+	// SublistExpansion is the paper's S(max) load-balance metric: the
+	// worst ratio of a node's final partition to its optimal
+	// perf-proportional share (1.0 = perfect).
+	SublistExpansion float64
+	// ReadBlocks and WriteBlocks total the PDM block transfers over
+	// all nodes.
+	ReadBlocks, WriteBlocks int64
+	// NodeClocks is each node's final virtual clock.
+	NodeClocks []float64
+	// Perf echoes the vector the run used.
+	Perf []int
+	// Timeline and Gantt hold the rendered virtual-time trace when
+	// Config.Trace was set.
+	Timeline string
+	Gantt    string
+}
+
+// attachTrace renders tl into the report (no-op for nil).
+func (r *Report) attachTrace(tl *trace.Log) {
+	if tl == nil {
+		return
+	}
+	r.Timeline = tl.Timeline()
+	r.Gantt = tl.Gantt(60)
+}
+
+func newReport(res *extsort.Result, v perf.Vector) *Report {
+	r := &Report{
+		Time:           res.Time,
+		StepTimes:      res.StepTimes,
+		StepNames:      extsort.StepNames,
+		PartitionSizes: res.PartitionSizes,
+		NodeClocks:     res.NodeClocks,
+		Perf:           append([]int(nil), v...),
+	}
+	if e, err := sampling.WeightedExpansion(res.PartitionSizes, v); err == nil {
+		r.SublistExpansion = e
+	}
+	for _, io := range res.NodeIO {
+		r.ReadBlocks += io.Reads
+		r.WriteBlocks += io.Writes
+	}
+	return r
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hetsort: %.3f virtual s, perf=%v, S(max)=%.4f\n",
+		r.Time, r.Perf, r.SublistExpansion)
+	for i, name := range r.StepNames {
+		fmt.Fprintf(&b, "  %-20s %10.3fs\n", name, r.StepTimes[i])
+	}
+	fmt.Fprintf(&b, "  partitions: %v\n", r.PartitionSizes)
+	fmt.Fprintf(&b, "  block I/O: %d reads, %d writes\n", r.ReadBlocks, r.WriteBlocks)
+	return b.String()
+}
