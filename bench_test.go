@@ -450,6 +450,26 @@ func BenchmarkAblationBaselineDeWitt(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationCheckpoint is A7: the price of crash tolerance —
+// the same sort with checkpointing off, on, and on with a node killed
+// during redistribution and the run resumed from its manifests.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	o := benchOptions()
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CheckpointAblation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Metric == "vsec" {
+			b.ReportMetric(r.Value, "vsec-"+r.Variant)
+		}
+	}
+}
+
 // BenchmarkDistributionSweep is E10: external PSRS across the eight
 // benchmark input distributions (the paper's input-invariance claim).
 func BenchmarkDistributionSweep(b *testing.B) {

@@ -26,7 +26,7 @@ func main() {
 		trials = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp    = flag.String("tmpdir", "", "root directory for -ondisk")
-		which  = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, all")
+		which  = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, all")
 		seed   = flag.Int64("seed", 1, "base input seed")
 	)
 	flag.Parse()
@@ -114,6 +114,14 @@ func main() {
 	})
 	run("ablations", func() error {
 		rows, err := experiments.Ablations(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationsString(rows))
+		return nil
+	})
+	run("checkpoint", func() error {
+		rows, err := experiments.CheckpointAblation(o)
 		if err != nil {
 			return err
 		}

@@ -39,6 +39,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for -gen")
 		verbose  = flag.Bool("v", false, "print the full per-step report")
 		withGant = flag.Bool("trace", false, "print a virtual-time Gantt chart of the run")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for node disks with durable phase checkpoints (implies -workdir)")
+		resume   = flag.Bool("resume", false, "resume an interrupted checkpointed run from -checkpoint-dir")
+		crash    = flag.String("crash", "", "inject a crash for testing, as node:phase (e.g. 2:4)")
 	)
 	flag.Parse()
 
@@ -58,7 +61,15 @@ func main() {
 		return
 	}
 
-	if *input == "" || *output == "" {
+	if *resume {
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+		}
+		if *output == "" {
+			fmt.Fprintln(os.Stderr, "usage: hetsort -resume -checkpoint-dir DIR -output OUT [flags]; see -h")
+			os.Exit(2)
+		}
+	} else if *input == "" || *output == "" {
 		fmt.Fprintln(os.Stderr, "usage: hetsort -input IN -output OUT [flags]; see -h")
 		os.Exit(2)
 	}
@@ -72,8 +83,30 @@ func main() {
 		WorkDir:     *workdir,
 		Trace:       *withGant,
 	}
-	rep, err := hetsort.SortFile(*input, *output, cfg)
+	if *ckptDir != "" {
+		cfg.WorkDir = *ckptDir
+		cfg.Checkpoint.Enabled = true
+	}
+	if *crash != "" {
+		var node, phase int
+		if _, err := fmt.Sscanf(*crash, "%d:%d", &node, &phase); err != nil {
+			fatal(fmt.Errorf("-crash wants node:phase, got %q", *crash))
+		}
+		cfg.Checkpoint.CrashNode = node
+		cfg.Checkpoint.CrashPhase = phase
+	}
+
+	var rep *hetsort.Report
+	if *resume {
+		rep, err = hetsort.Resume(*output, cfg)
+	} else {
+		rep, err = hetsort.SortFile(*input, *output, cfg)
+	}
 	if err != nil {
+		if hetsort.IsCrash(err) {
+			fmt.Fprintf(os.Stderr, "hetsort: %v\nhetsort: checkpoints are intact; rerun with -resume -checkpoint-dir %s to continue\n", err, *ckptDir)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	if *verbose {

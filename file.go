@@ -2,11 +2,14 @@ package hetsort
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"hetsort/internal/cluster"
 	"hetsort/internal/diskio"
+	"hetsort/internal/extsort"
 	"hetsort/internal/record"
 )
 
@@ -88,17 +91,29 @@ func SortFile(inputPath, outputPath string, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Concatenate the sorted partitions into the host output.
-	out, err := os.Create(outputPath)
-	if err != nil {
+	if err := concatOutput(c, block, outputPath); err != nil {
 		return nil, err
 	}
+	rep := newReport(res, v)
+	rep.attachTrace(tl)
+	return rep, nil
+}
+
+// concatOutput concatenates the nodes' sorted partitions in rank order
+// into the host file outputPath.
+func concatOutput(c *cluster.Cluster, block int, outputPath string) error {
+	out, err := os.Create(outputPath)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(out, 1<<20)
+	keyBuf := make([]record.Key, block)
+	byteBuf := make([]byte, block*record.KeySize)
 	for i := 0; i < c.P(); i++ {
 		f, err := c.Node(i).FS().Open("output")
 		if err != nil {
 			out.Close()
-			return nil, err
+			return err
 		}
 		r := diskio.NewReader(f, block, diskio.Accounting{})
 		for {
@@ -108,7 +123,7 @@ func SortFile(inputPath, outputPath string, cfg Config) (*Report, error) {
 				if _, werr := bw.Write(bb); werr != nil {
 					f.Close()
 					out.Close()
-					return nil, werr
+					return werr
 				}
 			}
 			if rerr == io.EOF || n == 0 {
@@ -117,19 +132,64 @@ func SortFile(inputPath, outputPath string, cfg Config) (*Report, error) {
 			if rerr != nil {
 				f.Close()
 				out.Close()
-				return nil, rerr
+				return rerr
 			}
 		}
 		if err := f.Close(); err != nil {
 			out.Close()
-			return nil, err
+			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Resume continues a SortFile run that was interrupted after being
+// started with Checkpoint.Enabled and a WorkDir: the per-node manifests
+// under cfg.WorkDir say which phases each node committed, and only the
+// missing work is re-run.  On success the completed sorted output is
+// written to outputPath and the report covers the resumed run (virtual
+// clocks replayed from the last commits, recovery I/O included in the
+// block counts).  The configuration must match the interrupted run's.
+func Resume(outputPath string, cfg Config) (*Report, error) {
+	if cfg.WorkDir == "" {
+		return nil, errors.New("hetsort: Resume requires Config.WorkDir (manifests and node disks must be durable)")
+	}
+	if cfg.Algorithm != "" && cfg.Algorithm != AlgorithmExternalPSRS {
+		return nil, fmt.Errorf("hetsort: cannot resume algorithm %q (checkpointing is external-psrs only)", cfg.Algorithm)
+	}
+	v, err := cfg.vector()
+	if err != nil {
+		return nil, err
+	}
+	c, tl, err := cfg.newCluster(v)
+	if err != nil {
+		return nil, err
+	}
+	ecfg, err := cfg.extsortConfig(v)
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Checkpoint = true
+	res, want, err := extsort.Resume(c, ecfg, "input", "output")
+	if err != nil {
+		return nil, err
+	}
+	if err := extsort.VerifyOutput(c, "output", cfg.blockKeys(), want); err != nil {
+		return nil, err
+	}
+	if err := concatOutput(c, cfg.blockKeys(), outputPath); err != nil {
 		return nil, err
 	}
 	rep := newReport(res, v)
 	rep.attachTrace(tl)
-	return rep, out.Close()
+	return rep, nil
 }
+
+// IsCrash reports whether err was caused by an injected node crash (see
+// CheckpointConfig): the run died mid-sort but its checkpoints survive,
+// so Resume can finish it.
+func IsCrash(err error) bool { return cluster.IsCrash(err) }

@@ -127,6 +127,27 @@ type Config struct {
 	// Trace, when true, records a virtual-time event trace of the run
 	// into Report.Timeline and Report.Gantt.
 	Trace bool
+	// Checkpoint controls the fault-tolerance subsystem.
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig controls crash tolerance.  With Enabled, every node
+// durably commits a checkpoint manifest to its disk at each of the five
+// phase boundaries of Algorithm 1; a run interrupted by a node failure
+// can then be continued with Resume, re-running only the phases that
+// did not commit.  Manifests live on the node disks, so genuine
+// crash-restart recovery needs Config.WorkDir (in-memory disks only
+// survive within one process).
+type CheckpointConfig struct {
+	// Enabled turns the phase boundaries into durable commit points.
+	Enabled bool
+	// CrashPhase, when 1..5, schedules an injected failure of node
+	// CrashNode at the end of that phase, just before its commit —
+	// the fault-injection hook for tests, demos and experiments.
+	// Zero disables injection.
+	CrashPhase int
+	// CrashNode is the node the injected failure kills.
+	CrashNode int
 }
 
 func (c Config) vector() (perf.Vector, error) {
@@ -297,12 +318,22 @@ func Sort(keys []Key, cfg Config) ([]Key, *Report, error) {
 // against the expected checksum.  The result is normalised to an
 // extsort.Result (the DeWitt baseline reports no per-step breakdown).
 func (c Config) sortOnCluster(cl *cluster.Cluster, v perf.Vector, want record.Checksum) (*extsort.Result, error) {
+	if ph := c.Checkpoint.CrashPhase; ph != 0 {
+		if ph < 1 || ph > 5 {
+			return nil, fmt.Errorf("hetsort: Checkpoint.CrashPhase %d out of range 1..5", ph)
+		}
+		if err := cl.ScheduleCrash(c.Checkpoint.CrashNode, -1, extsort.StepNames[ph-1]); err != nil {
+			return nil, err
+		}
+	}
 	switch c.Algorithm {
 	case "", AlgorithmExternalPSRS:
 		ecfg, err := c.extsortConfig(v)
 		if err != nil {
 			return nil, err
 		}
+		ecfg.Checkpoint = c.Checkpoint.Enabled
+		ecfg.InputSum = want
 		res, err := extsort.Sort(cl, ecfg, "input", "output")
 		if err != nil {
 			return nil, err
@@ -312,6 +343,9 @@ func (c Config) sortOnCluster(cl *cluster.Cluster, v perf.Vector, want record.Ch
 		}
 		return res, nil
 	case AlgorithmDeWitt:
+		if c.Checkpoint.Enabled {
+			return nil, errors.New("hetsort: checkpointing is only implemented for the external-psrs algorithm")
+		}
 		res, err := dewitt.Sort(cl, dewitt.Config{
 			Perf:        v,
 			BlockKeys:   c.blockKeys(),

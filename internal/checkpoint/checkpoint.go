@@ -1,0 +1,272 @@
+// Package checkpoint makes Algorithm 1 crash-tolerant: each node
+// records its progress through the five phases in a durable manifest on
+// its private disk, and a recovery planner turns the surviving manifests
+// back into a resume plan after a failure.
+//
+// A manifest is committed at every phase boundary — the natural
+// consistency points of a regular-sampling sort — and records the
+// completed phase, the virtual clock at commit, the durable files that
+// phase depends on (with their key counts), the broadcast pivots once
+// known, and a fingerprint of the sort configuration.  Manifests are
+// written with the classic durable-replace protocol: serialise to a
+// temporary file, fsync when the filesystem supports it, then atomically
+// Rename over the live name.  A SHA-256 checksum over the body detects
+// torn or corrupted manifests on load, so a half-written manifest can
+// never be mistaken for a commit.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/record"
+)
+
+// ManifestName is the live manifest file on each node's private FS.
+const ManifestName = "hetsort.ckpt"
+
+// manifestTemp is the scratch name the durable-replace protocol writes
+// before the atomic rename.
+const manifestTemp = ManifestName + ".tmp"
+
+// magic heads every manifest; bump the suffix on incompatible changes.
+const magic = "hetsort-checkpoint-v1"
+
+// Version is the manifest schema version written by this package.
+const Version = 1
+
+// ErrCorrupt reports a manifest whose checksum or structure does not
+// verify — a torn write or disk corruption.  Callers must treat the
+// node as having no usable checkpoint.
+var ErrCorrupt = errors.New("checkpoint: manifest corrupt")
+
+// Phases is the number of commit points in Algorithm 1.
+const Phases = 5
+
+// FileInfo names a durable file a committed phase depends on, with its
+// expected length in keys so recovery can detect truncation.
+type FileInfo struct {
+	Name string `json:"name"`
+	Keys int64  `json:"keys"`
+}
+
+// Manifest is one node's durable progress record.
+type Manifest struct {
+	// Version is the manifest schema version.
+	Version int `json:"version"`
+	// Node and P identify the writer and the cluster size.
+	Node int `json:"node"`
+	P    int `json:"p"`
+	// Phase is the number of completed (committed) phases, 0..Phases.
+	Phase int `json:"phase"`
+	// Clock is the node's virtual clock at the commit, replayed on
+	// resume so recovered runs report honest virtual times.
+	Clock float64 `json:"clock"`
+	// Sig fingerprints the sort configuration; resume refuses to mix
+	// manifests from a differently-parameterised run.
+	Sig string `json:"sig"`
+	// Input is the global input multiset checksum, identical on every
+	// node, so a resumed run can verify its final output.
+	Input record.Checksum `json:"input"`
+	// Pivots holds the broadcast pivots once Phase >= 2.  Recovery
+	// hands them to nodes that died before receiving the broadcast,
+	// sparing a re-gather.
+	Pivots []record.Key `json:"pivots,omitempty"`
+	// Files lists the durable files this phase depends on.
+	Files []FileInfo `json:"files,omitempty"`
+}
+
+// Save durably commits m to fs using temp-write + sync + atomic rename,
+// charging one metadata block write and one seek to acct (the cost that
+// makes checkpoint overhead visible in the PDM counters).
+func Save(fs diskio.FS, m *Manifest, acct diskio.Accounting) error {
+	m.Version = Version
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding manifest: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	f, err := fs.Create(manifestTemp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating manifest temp: %w", err)
+	}
+	header := fmt.Sprintf("%s sha256=%s\n", magic, hex.EncodeToString(sum[:]))
+	if _, err := io.WriteString(f, header); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: writing manifest: %w", err)
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: writing manifest: %w", err)
+	}
+	// fsync before rename when the FS supports it (DirFS does), so the
+	// rename never publishes an unflushed manifest.
+	if s, ok := f.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing manifest: %w", err)
+	}
+	if err := fs.Rename(manifestTemp, ManifestName); err != nil {
+		return fmt.Errorf("checkpoint: publishing manifest: %w", err)
+	}
+	if acct.Counter != nil {
+		acct.Counter.AddWrite(1)
+		acct.Counter.AddSeek(1)
+	}
+	if acct.Meter != nil {
+		acct.Meter.ChargeIOBlocks(1)
+		acct.Meter.ChargeSeek(1)
+	}
+	return nil
+}
+
+// Load reads and verifies the manifest on fs.  A missing manifest
+// surfaces as os.ErrNotExist; a torn or mangled one as ErrCorrupt.
+func Load(fs diskio.FS) (*Manifest, error) {
+	f, err := fs.Open(ManifestName)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading manifest: %w", err)
+	}
+	nl := strings.IndexByte(string(raw), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	header, body := string(raw[:nl]), raw[nl+1:]
+	want, ok := strings.CutPrefix(header, magic+" sha256=")
+	if !ok {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, header)
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (torn write?)", ErrCorrupt)
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if m.Version != Version {
+		return nil, fmt.Errorf("checkpoint: manifest version %d, want %d", m.Version, Version)
+	}
+	return &m, nil
+}
+
+// Remove deletes the manifest (after a fully completed run, or to start
+// over).  Missing manifests are not an error.
+func Remove(fs diskio.FS) error {
+	err := fs.Remove(ManifestName)
+	if err != nil && errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Validate checks that every file the manifest depends on exists on fs
+// with the recorded length.
+func (m *Manifest) Validate(fs diskio.FS) error {
+	for _, fi := range m.Files {
+		n, err := diskio.CountKeys(fs, fi.Name)
+		if err != nil {
+			return fmt.Errorf("checkpoint: node %d phase %d dependency %s: %w", m.Node, m.Phase, fi.Name, err)
+		}
+		if n != fi.Keys {
+			return fmt.Errorf("checkpoint: node %d phase %d dependency %s has %d keys, manifest says %d",
+				m.Node, m.Phase, fi.Name, n, fi.Keys)
+		}
+	}
+	return nil
+}
+
+// Recovery is the cluster-wide resume plan assembled from the per-node
+// manifests: what each node has committed, where its clock stood, and
+// the globally agreed pivots if any node got far enough to know them.
+type Recovery struct {
+	// Done[i] is node i's committed phase count (0..Phases).
+	Done []int
+	// Clocks[i] is node i's virtual clock at its last commit.
+	Clocks []float64
+	// Pivots are the broadcast pivots, non-nil once any node committed
+	// phase 2 (pivot selection is a collective, so one survivor's copy
+	// is everyone's copy).
+	Pivots []record.Key
+	// Input is the global input checksum recorded at the start of the
+	// original run.
+	Input record.Checksum
+}
+
+// MinDone returns the least-advanced node's committed phase.
+func (r *Recovery) MinDone() int {
+	m := Phases
+	for _, d := range r.Done {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Complete reports whether every node already committed all phases (the
+// crashed run died after the work was done).
+func (r *Recovery) Complete() bool { return r.MinDone() >= Phases }
+
+// Plan loads, verifies and cross-checks the manifests of all nodes and
+// returns the resume plan.  sig must match the fingerprint recorded by
+// the interrupted run, so a resume cannot silently change the sort
+// parameters mid-flight.
+func Plan(disks []diskio.FS, sig string) (*Recovery, error) {
+	p := len(disks)
+	r := &Recovery{
+		Done:   make([]int, p),
+		Clocks: make([]float64, p),
+	}
+	for i, fs := range disks {
+		m, err := Load(fs)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("checkpoint: node %d has no manifest (was the run checkpointed?): %w", i, err)
+			}
+			return nil, fmt.Errorf("checkpoint: node %d: %w", i, err)
+		}
+		if m.Node != i {
+			return nil, fmt.Errorf("checkpoint: manifest on node %d claims node %d", i, m.Node)
+		}
+		if m.P != p {
+			return nil, fmt.Errorf("checkpoint: node %d manifest is for a %d-node cluster, resuming on %d", i, m.P, p)
+		}
+		if m.Sig != sig {
+			return nil, fmt.Errorf("checkpoint: node %d manifest was written by a different configuration\n  manifest: %s\n  resume:   %s", i, m.Sig, sig)
+		}
+		if m.Phase < 0 || m.Phase > Phases {
+			return nil, fmt.Errorf("checkpoint: node %d manifest has impossible phase %d", i, m.Phase)
+		}
+		if err := m.Validate(fs); err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			r.Input = m.Input
+		} else if !m.Input.Equal(r.Input) {
+			return nil, fmt.Errorf("checkpoint: node %d input checksum %v disagrees with node 0's %v", i, m.Input, r.Input)
+		}
+		r.Done[i] = m.Phase
+		r.Clocks[i] = m.Clock
+		if m.Phase >= 2 && r.Pivots == nil {
+			r.Pivots = append([]record.Key(nil), m.Pivots...)
+		}
+	}
+	return r, nil
+}

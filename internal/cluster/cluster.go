@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 
 	"hetsort/internal/diskio"
@@ -66,6 +65,55 @@ type Cluster struct {
 
 	abort     chan struct{} // closed when any node fails during Run
 	abortOnce *sync.Once
+}
+
+// CrashError is the failure a scheduled crash injects: the node stops
+// mid-run exactly as if its process had died, leaving peers to abort.
+type CrashError struct {
+	Node  int
+	Clock float64 // virtual time of death
+	Point string  // the crash point that fired ("" for clock-triggered)
+}
+
+func (e *CrashError) Error() string {
+	if e.Point != "" {
+		return fmt.Sprintf("cluster: node %d crashed (injected) at %.6fs, point %q", e.Node, e.Clock, e.Point)
+	}
+	return fmt.Sprintf("cluster: node %d crashed (injected) at %.6fs", e.Node, e.Clock)
+}
+
+// IsCrash reports whether err contains an injected CrashError (possibly
+// joined with peer abort errors).
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// ScheduleCrash arranges for node id to die during the next Run: when
+// its virtual clock reaches atClock (>= 0), or when it executes the
+// crash point named atPoint (see Node.CrashPoint), whichever triggers
+// first.  Pass atClock < 0 to disable the clock trigger and atPoint ""
+// to disable the point trigger.  The schedule is one-shot: it clears
+// once fired, so a subsequent (recovery) Run proceeds normally.
+func (c *Cluster) ScheduleCrash(id int, atClock float64, atPoint string) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: cannot schedule crash on invalid rank %d", id)
+	}
+	n := c.nodes[id]
+	n.crashClock = atClock
+	n.crashPoint = atPoint
+	n.crashArmed = atClock >= 0 || atPoint != ""
+	return nil
+}
+
+// ClearCrashes disarms every scheduled crash (between a failed run and
+// its recovery run).
+func (c *Cluster) ClearCrashes() {
+	for _, n := range c.nodes {
+		n.crashArmed = false
+		n.crashClock = -1
+		n.crashPoint = ""
+	}
 }
 
 // New builds a cluster from cfg.
@@ -173,7 +221,11 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+					if ce, ok := r.(*CrashError); ok {
+						errs[i] = ce
+					} else {
+						errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+					}
 				}
 				if errs[i] != nil {
 					// Unblock peers waiting on this node forever.
@@ -184,14 +236,14 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 		}(i, n)
 	}
 	wg.Wait()
-	var nonNil []string
+	var nonNil []error
 	for i, err := range errs {
 		if err != nil {
-			nonNil = append(nonNil, fmt.Sprintf("node %d: %v", i, err))
+			nonNil = append(nonNil, fmt.Errorf("node %d: %w", i, err))
 		}
 	}
 	if nonNil != nil {
-		return errors.New("cluster: " + strings.Join(nonNil, "; "))
+		return fmt.Errorf("cluster: %w", errors.Join(nonNil...))
 	}
 	return nil
 }
@@ -210,6 +262,32 @@ type Node struct {
 	fs       diskio.FS
 	clock    float64
 	counter  pdm.Counter
+
+	// Scheduled fault injection (see Cluster.ScheduleCrash).
+	crashArmed bool
+	crashClock float64
+	crashPoint string
+}
+
+// crashIfDue panics with a CrashError when the node's scheduled
+// clock-triggered crash has come due.  Called from every clock-advancing
+// method so a node can die mid-phase, exactly like a real process.
+func (n *Node) crashIfDue() {
+	if n.crashArmed && n.crashClock >= 0 && n.clock >= n.crashClock {
+		n.crashArmed = false
+		panic(&CrashError{Node: n.id, Clock: n.clock})
+	}
+}
+
+// CrashPoint is a named fault-injection hook: if a crash was scheduled
+// at this point (Cluster.ScheduleCrash with atPoint == name), the node
+// dies here.  The sorts place crash points at their phase boundaries so
+// tests can kill a node at any commit point.
+func (n *Node) CrashPoint(name string) {
+	if n.crashArmed && n.crashPoint == name {
+		n.crashArmed = false
+		panic(&CrashError{Node: n.id, Clock: n.clock, Point: name})
+	}
 }
 
 // ID returns the node's rank in [0, P).
@@ -229,7 +307,10 @@ func (n *Node) Clock() float64 { return n.clock }
 
 // AdvanceClock adds dt virtual seconds of unscaled time (used for fixed
 // protocol overheads).
-func (n *Node) AdvanceClock(dt float64) { n.clock += dt }
+func (n *Node) AdvanceClock(dt float64) {
+	n.clock += dt
+	n.crashIfDue()
+}
 
 // Counter returns the node's PDM I/O counter.
 func (n *Node) Counter() *pdm.Counter { return &n.counter }
@@ -246,6 +327,7 @@ func (n *Node) Acct() diskio.Accounting {
 // ChargeCompute implements vtime.Meter.
 func (n *Node) ChargeCompute(ops int64) {
 	n.clock += float64(ops) * n.cost.ComputeSec * n.slowdown
+	n.crashIfDue()
 }
 
 // Disks returns the node's PDM D parameter.
@@ -255,11 +337,13 @@ func (n *Node) Disks() int { return n.disks }
 // transfer time divides by D (the PDM's parallel I/O step).
 func (n *Node) ChargeIOBlocks(blocks int64) {
 	n.clock += float64(blocks) * float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown / float64(n.disks)
+	n.crashIfDue()
 }
 
 // ChargeSeek implements vtime.Meter.
 func (n *Node) ChargeSeek(seeks int64) {
 	n.clock += float64(seeks) * n.cost.SeekSec * n.slowdown
+	n.crashIfDue()
 }
 
 // Send transfers keys to node `to` with the given tag.  The payload is
@@ -287,6 +371,7 @@ func (n *Node) Send(to, tag int, keys []record.Key) error {
 			occupancy += float64(bytes) / n.cluster.net.BytesPerSec
 		}
 		n.clock += occupancy
+		n.crashIfDue()
 		arrival = n.clock + n.cluster.net.LatencySec
 	}
 	select {
@@ -332,6 +417,7 @@ func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
 		// Receive-side protocol processing.
 		n.clock += n.cluster.net.LatencySec
 	}
+	n.crashIfDue()
 	if tl := n.cluster.trace; tl != nil {
 		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.MessageReceived,
 			Label: fmt.Sprintf("tag%d", wantTag), Detail: fmt.Sprintf("from:%d keys:%d", from, len(msg.keys))})
@@ -354,7 +440,14 @@ func (n *Node) TracePhase(label string) func() {
 
 // TraceMark records a free-form annotation (no-op without a trace log).
 func (n *Node) TraceMark(label, detail string) {
+	n.TraceEvent(trace.Mark, label, detail)
+}
+
+// TraceEvent records an event of an arbitrary kind at the node's current
+// clock (no-op without a trace log).  The checkpoint subsystem uses it
+// for commit and recovery events.
+func (n *Node) TraceEvent(k trace.Kind, label, detail string) {
 	if tl := n.cluster.trace; tl != nil {
-		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.Mark, Label: label, Detail: detail})
+		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: k, Label: label, Detail: detail})
 	}
 }

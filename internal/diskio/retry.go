@@ -1,0 +1,158 @@
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// RetryPolicy bounds the retry-with-backoff loop of a RetryFS.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// (so an operation is tried at most MaxRetries+1 times).
+	MaxRetries int
+	// BackoffSec is the virtual-time delay charged before the first
+	// retry; each further retry doubles it (bounded exponential
+	// backoff).
+	BackoffSec float64
+	// Retryable, when non-nil, filters which errors are retried.  The
+	// default retries everything except end-of-file, "file does not
+	// exist" and "file already closed", which no amount of waiting will
+	// fix.
+	Retryable func(error) bool
+}
+
+// DefaultRetryPolicy is a sensible bounded policy for transient disk
+// faults: 4 retries starting at 10 virtual milliseconds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, BackoffSec: 0.01}
+}
+
+func (p RetryPolicy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return err != io.EOF && err != io.ErrUnexpectedEOF &&
+		!errors.Is(err, os.ErrNotExist) && !errors.Is(err, os.ErrClosed)
+}
+
+// RetryFS wraps another FS with a bounded retry-with-backoff policy, so
+// transient faults (see FaultFS.FailCount) are absorbed instead of
+// killing a multi-hour sort.  Backoff delays are reported through Wait
+// so the simulated cluster can charge them to the node's virtual clock;
+// Retries counts every re-attempt for tests and reports.
+type RetryFS struct {
+	Inner  FS
+	Policy RetryPolicy
+	// Wait, when non-nil, receives each backoff delay in virtual
+	// seconds (e.g. cluster.Node.AdvanceClock).
+	Wait func(sec float64)
+
+	retries atomic.Int64
+}
+
+// NewRetryFS wraps inner with the policy; wait may be nil.
+func NewRetryFS(inner FS, policy RetryPolicy, wait func(sec float64)) *RetryFS {
+	return &RetryFS{Inner: inner, Policy: policy, Wait: wait}
+}
+
+// Retries returns the number of re-attempts performed so far.
+func (r *RetryFS) Retries() int64 { return r.retries.Load() }
+
+// do runs op, retrying per the policy.
+func (r *RetryFS) do(op func() error) error {
+	backoff := r.Policy.BackoffSec
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= r.Policy.MaxRetries || !r.Policy.retryable(err) {
+			return err
+		}
+		if r.Wait != nil && backoff > 0 {
+			r.Wait(backoff)
+		}
+		backoff *= 2
+		r.retries.Add(1)
+	}
+}
+
+// Create implements FS.
+func (r *RetryFS) Create(name string) (File, error) {
+	var f File
+	err := r.do(func() error {
+		var e error
+		f, e = r.Inner.Create(name)
+		return e
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskio: create %s (retries exhausted): %w", name, err)
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+// Open implements FS.
+func (r *RetryFS) Open(name string) (File, error) {
+	var f File
+	err := r.do(func() error {
+		var e error
+		f, e = r.Inner.Open(name)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{File: f, fs: r}, nil
+}
+
+// Remove implements FS.
+func (r *RetryFS) Remove(name string) error {
+	return r.do(func() error { return r.Inner.Remove(name) })
+}
+
+// Rename implements FS.
+func (r *RetryFS) Rename(oldName, newName string) error {
+	return r.do(func() error { return r.Inner.Rename(oldName, newName) })
+}
+
+// Names implements FS.
+func (r *RetryFS) Names() ([]string, error) { return r.Inner.Names() }
+
+// retryFile retries the byte-level operations.  A failed Read/Write in
+// this layer has had no side effect on the stream position (the fault
+// layers fail before touching the file), so re-issuing it is safe.
+type retryFile struct {
+	File
+	fs *RetryFS
+}
+
+func (f *retryFile) Read(p []byte) (int, error) {
+	var n int
+	err := f.fs.do(func() error {
+		var e error
+		n, e = f.File.Read(p)
+		return e
+	})
+	return n, err
+}
+
+func (f *retryFile) Write(p []byte) (int, error) {
+	var n int
+	err := f.fs.do(func() error {
+		var e error
+		n, e = f.File.Write(p)
+		return e
+	})
+	return n, err
+}
+
+func (f *retryFile) Seek(offset int64, whence int) (int64, error) {
+	var n int64
+	err := f.fs.do(func() error {
+		var e error
+		n, e = f.File.Seek(offset, whence)
+		return e
+	})
+	return n, err
+}

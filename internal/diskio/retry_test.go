@@ -1,0 +1,129 @@
+package diskio
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"hetsort/internal/record"
+)
+
+func TestTransientFaultFSRecovers(t *testing.T) {
+	ffs := NewTransientFaultFS(NewMemFS(), 2, 3)
+	f, err := ffs.Create("x") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4}); err != nil { // op 2
+		t.Fatal(err)
+	}
+	// Ops 3..5 are the transient window: all must fail.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte{9}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: want injected fault, got %v", 3+i, err)
+		}
+	}
+	// The device has recovered.
+	if _, err := f.Write([]byte{5, 6, 7, 8}); err != nil {
+		t.Fatalf("post-recovery write: %v", err)
+	}
+	if got := ffs.Injected(); got != 3 {
+		t.Fatalf("Injected() = %d, want 3", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermanentFaultFSInjectedCounter(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS(), 0)
+	if _, err := ffs.Create("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if _, err := ffs.Open("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if got := ffs.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestRetryFSAbsorbsTransientFault(t *testing.T) {
+	ffs := NewTransientFaultFS(NewMemFS(), 3, 2)
+	var waited float64
+	rfs := NewRetryFS(ffs, DefaultRetryPolicy(), func(sec float64) { waited += sec })
+
+	keys := []record.Key{5, 3, 8, 1}
+	if err := WriteFile(rfs, "k", keys, 2, Accounting{}); err != nil {
+		t.Fatalf("write through transient fault: %v", err)
+	}
+	got, err := ReadFileAll(rfs, "k", 2, Accounting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("read back %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], keys[i])
+		}
+	}
+	if rfs.Retries() == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+	if ffs.Injected() == 0 {
+		t.Fatal("no faults injected")
+	}
+	if waited <= 0 {
+		t.Fatal("backoff delays not reported to Wait")
+	}
+}
+
+func TestRetryFSGivesUpOnPermanentFault(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS(), 0)
+	rfs := NewRetryFS(ffs, RetryPolicy{MaxRetries: 2, BackoffSec: 0.001}, nil)
+	if _, err := rfs.Create("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want exhausted retries to surface the fault, got %v", err)
+	}
+	// First attempt + 2 retries.
+	if got := ffs.Injected(); got != 3 {
+		t.Fatalf("Injected() = %d, want 3", got)
+	}
+	if got := rfs.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestRetryFSDoesNotRetryEOF(t *testing.T) {
+	inner := NewMemFS()
+	if err := WriteFile(inner, "k", []record.Key{1}, 1, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	rfs := NewRetryFS(inner, DefaultRetryPolicy(), nil)
+	f, err := rfs.Open("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if got := rfs.Retries(); got != 0 {
+		t.Fatalf("EOF was retried %d times", got)
+	}
+}
+
+func TestRetryFSDoesNotRetryMissingFile(t *testing.T) {
+	rfs := NewRetryFS(NewMemFS(), DefaultRetryPolicy(), nil)
+	if _, err := rfs.Open("nope"); err == nil {
+		t.Fatal("want not-exist error")
+	}
+	if got := rfs.Retries(); got != 0 {
+		t.Fatalf("not-exist was retried %d times", got)
+	}
+}

@@ -211,7 +211,7 @@ func Ablations(o Options) ([]AblationRow, error) {
 // AblationsString renders the rows.
 func AblationsString(rows []AblationRow) string {
 	t := &stats.Table{
-		Title:   "Ablations A1-A6 (see DESIGN.md)",
+		Title:   "Ablations (see DESIGN.md)",
 		Headers: []string{"Id", "Variant", "Metric", "Value"},
 	}
 	for _, r := range rows {

@@ -19,9 +19,12 @@
 package extsort
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"hetsort/internal/checkpoint"
 	"hetsort/internal/cluster"
 	"hetsort/internal/diskio"
 	"hetsort/internal/pdm"
@@ -29,6 +32,7 @@ import (
 	"hetsort/internal/polyphase"
 	"hetsort/internal/record"
 	"hetsort/internal/sampling"
+	"hetsort/internal/trace"
 )
 
 // Message tags.
@@ -82,6 +86,24 @@ type Config struct {
 	// KeepIntermediates retains segment and received files for
 	// debugging when true.
 	KeepIntermediates bool
+	// Checkpoint makes the five phase boundaries durable commit points:
+	// each node writes a manifest (see internal/checkpoint) to its
+	// private FS after every phase, segment files are retained until
+	// they can no longer be needed by a recovery, and an interrupted
+	// run can be continued with Resume.
+	Checkpoint bool
+	// InputSum is the global input multiset checksum stamped into the
+	// manifests so a resumed run can verify its final output (only
+	// meaningful with Checkpoint).
+	InputSum record.Checksum
+}
+
+// sig fingerprints the parameters that must match between an
+// interrupted run and its resume.
+func (c Config) sig(inputName, outputName string) string {
+	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d in=%s out=%s",
+		[]int(c.Perf), c.BlockKeys, c.MemoryKeys, c.Tapes, c.MessageKeys,
+		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.Seed, inputName, outputName)
 }
 
 // ApplyDefaults fills zero-valued fields with the paper's defaults for
@@ -197,6 +219,45 @@ func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result
 	if err := cfg.Validate(p); err != nil {
 		return nil, err
 	}
+	return runWorkers(c, cfg, inputName, outputName, nil)
+}
+
+// Resume continues an interrupted checkpointed Sort from the manifests
+// on the node disks: it loads and validates every node's manifest,
+// replays each node's virtual clock to its last commit, re-runs only the
+// phases that did not commit (needy nodes re-receive their lost
+// redistribution segments from the senders' retained partition files),
+// and returns the completed result together with the original run's
+// input checksum for verification.  All recovery I/O is charged to the
+// PDM counters.  The configuration must match the interrupted run's.
+func Resume(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result, record.Checksum, error) {
+	p := c.P()
+	cfg.applyDefaults(p)
+	if err := cfg.Validate(p); err != nil {
+		return nil, record.Checksum{}, err
+	}
+	cfg.Checkpoint = true // resuming implies checkpointing the rest of the run
+	disks := make([]diskio.FS, p)
+	for i := range disks {
+		disks[i] = c.Node(i).FS()
+	}
+	plan, err := checkpoint.Plan(disks, cfg.sig(inputName, outputName))
+	if err != nil {
+		return nil, record.Checksum{}, err
+	}
+	cfg.InputSum = plan.Input
+	c.ResetClocks()
+	res, err := runWorkers(c, cfg, inputName, outputName, plan)
+	if err != nil {
+		return nil, record.Checksum{}, err
+	}
+	return res, plan.Input, nil
+}
+
+// runWorkers executes the five phases on every node, fresh (plan nil) or
+// resuming from a recovery plan.
+func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, plan *checkpoint.Recovery) (*Result, error) {
+	p := c.P()
 	res := &Result{
 		NodeClocks:     make([]float64, p),
 		PartitionSizes: make([]int64, p),
@@ -209,7 +270,8 @@ func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result
 	pivotsOut := make([][]record.Key, p)
 
 	err := c.Run(func(n *cluster.Node) error {
-		w := worker{n: n, cfg: cfg, input: inputName, output: outputName}
+		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
+			plan: plan, sig: cfg.sig(inputName, outputName)}
 		return w.run(&stepEnds[n.ID()], &res.StepIO, &pivotsOut[n.ID()])
 	})
 	if err != nil {
@@ -248,11 +310,65 @@ type worker struct {
 	cfg    Config
 	input  string
 	output string
+
+	// Checkpoint state: plan is non-nil when resuming, sig fingerprints
+	// the configuration, pivots carries the agreed pivots from phase 2
+	// on so every later manifest re-records them.
+	plan   *checkpoint.Recovery
+	sig    string
+	pivots []record.Key
+}
+
+// done returns how many phases this node had committed before the run
+// (0 for a fresh run).
+func (w *worker) done() int {
+	if w.plan == nil {
+		return 0
+	}
+	return w.plan.Done[w.n.ID()]
+}
+
+// commit durably records that `phase` phases are complete, listing the
+// files the state depends on.  No-op without checkpointing.  The
+// "committed:<step>" crash point right after the save lets tests kill a
+// node between its commit and the following barrier.
+func (w *worker) commit(phase int, files []checkpoint.FileInfo) error {
+	if !w.cfg.Checkpoint {
+		return nil
+	}
+	n := w.n
+	m := &checkpoint.Manifest{
+		Node:   n.ID(),
+		P:      n.P(),
+		Phase:  phase,
+		Clock:  n.Clock(),
+		Sig:    w.sig,
+		Input:  w.cfg.InputSum,
+		Pivots: w.pivots,
+		Files:  files,
+	}
+	if err := checkpoint.Save(n.FS(), m, n.Acct()); err != nil {
+		return err
+	}
+	label := "start"
+	if phase > 0 {
+		label = StepNames[phase-1]
+	}
+	n.TraceEvent(trace.Checkpoint, label, fmt.Sprintf("phase:%d clock:%.6f files:%d", phase, n.Clock(), len(files)))
+	n.CrashPoint("committed:" + label)
+	return nil
+}
+
+// skipPhase records that a resumed node is skipping an already
+// committed phase.
+func (w *worker) skipPhase(step int) {
+	w.n.TraceEvent(trace.Recovery, StepNames[step], "skipped (already committed)")
 }
 
 func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *[]record.Key) error {
 	n := w.n
 	id := n.ID()
+	done := w.done()
 	mark := func(step int, before pdm.IOStats) error {
 		if err := n.Barrier(tagBarrierBase + 2*step); err != nil {
 			return err
@@ -262,39 +378,91 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 		return nil
 	}
 
+	if w.plan != nil {
+		// Replay the clock to the last commit, so a resumed run reports
+		// the honest virtual completion time of the whole sort.
+		n.AdvanceClock(w.plan.Clocks[id])
+		w.pivots = w.plan.Pivots
+		n.TraceEvent(trace.Recovery, "resume", fmt.Sprintf("phases-done:%d clock:%.6f", done, w.plan.Clocks[id]))
+	} else if w.cfg.Checkpoint {
+		// Phase-0 manifest: the run exists and the input is durable.
+		li, err := diskio.CountKeys(n.FS(), w.input)
+		if err != nil {
+			return fmt.Errorf("checkpointing input on node %d: %w", id, err)
+		}
+		if err := w.commit(0, []checkpoint.FileInfo{{Name: w.input, Keys: li}}); err != nil {
+			return err
+		}
+	}
+
 	// Step 1: sequential external sort.
 	before := n.IOStats()
 	endPhase := n.TracePhase(StepNames[0])
-	if err := w.sequentialSort(); err != nil {
-		return fmt.Errorf("step 1 on node %d: %w", id, err)
+	if done >= 1 {
+		w.skipPhase(0)
+	} else {
+		keys, err := w.sequentialSort()
+		if err != nil {
+			return fmt.Errorf("step 1 on node %d: %w", id, err)
+		}
+		n.CrashPoint(StepNames[0])
+		if err := w.commit(1, []checkpoint.FileInfo{{Name: w.sortedName(), Keys: keys}}); err != nil {
+			return err
+		}
 	}
 	endPhase()
 	if err := mark(0, before); err != nil {
 		return err
 	}
 
-	// Step 2: pivot selection.
+	// Step 2: pivot selection.  When resuming after any node committed
+	// phase 2, the pivots were already selected and broadcast (the
+	// collective completed), so every node adopts the manifest copy
+	// without a re-gather; otherwise all nodes re-run the collective.
 	before = n.IOStats()
 	endPhase = n.TracePhase(StepNames[1])
-	li, err := diskio.CountKeys(n.FS(), w.sortedName())
-	if err != nil {
-		return fmt.Errorf("step 2 on node %d: %w", id, err)
-	}
 	var pivots []record.Key
-	switch w.cfg.Strategy {
-	case RegularSampling:
-		pivots, err = w.selectPivots(li)
-	case Overpartitioning:
-		pivots, err = w.selectPivotsOver(li)
-	case RandomPivots:
-		pivots, err = w.selectPivotsRandom(li)
-	case QuantileSketch:
-		pivots, err = w.selectPivotsQuantile(li)
+	switch {
+	case done >= 2:
+		pivots = w.pivots
+		w.skipPhase(1)
+	case w.plan != nil && w.plan.Pivots != nil:
+		pivots = w.plan.Pivots
+		n.TraceEvent(trace.Recovery, StepNames[1], "pivots adopted from a peer's manifest")
+		w.pivots = pivots
+		li, err := diskio.CountKeys(n.FS(), w.sortedName())
+		if err != nil {
+			return fmt.Errorf("step 2 on node %d: %w", id, err)
+		}
+		n.CrashPoint(StepNames[1])
+		if err := w.commit(2, []checkpoint.FileInfo{{Name: w.sortedName(), Keys: li}}); err != nil {
+			return err
+		}
 	default:
-		err = fmt.Errorf("unknown strategy %d", w.cfg.Strategy)
-	}
-	if err != nil {
-		return fmt.Errorf("step 2 on node %d: %w", id, err)
+		li, err := diskio.CountKeys(n.FS(), w.sortedName())
+		if err != nil {
+			return fmt.Errorf("step 2 on node %d: %w", id, err)
+		}
+		switch w.cfg.Strategy {
+		case RegularSampling:
+			pivots, err = w.selectPivots(li)
+		case Overpartitioning:
+			pivots, err = w.selectPivotsOver(li)
+		case RandomPivots:
+			pivots, err = w.selectPivotsRandom(li)
+		case QuantileSketch:
+			pivots, err = w.selectPivotsQuantile(li)
+		default:
+			err = fmt.Errorf("unknown strategy %d", w.cfg.Strategy)
+		}
+		if err != nil {
+			return fmt.Errorf("step 2 on node %d: %w", id, err)
+		}
+		w.pivots = pivots
+		n.CrashPoint(StepNames[1])
+		if err := w.commit(2, []checkpoint.FileInfo{{Name: w.sortedName(), Keys: li}}); err != nil {
+			return err
+		}
 	}
 	endPhase()
 	*pivotsOut = pivots
@@ -305,21 +473,77 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	// Step 3: partitioning.
 	before = n.IOStats()
 	endPhase = n.TracePhase(StepNames[2])
-	segSizes, err := w.partition(pivots)
-	if err != nil {
-		return fmt.Errorf("step 3 on node %d: %w", id, err)
+	if done >= 3 {
+		w.skipPhase(2)
+	} else {
+		segSizes, err := w.partition(pivots)
+		if err != nil {
+			return fmt.Errorf("step 3 on node %d: %w", id, err)
+		}
+		n.CrashPoint(StepNames[2])
+		files := make([]checkpoint.FileInfo, len(segSizes))
+		for j, sz := range segSizes {
+			files[j] = checkpoint.FileInfo{Name: w.segName(j), Keys: sz}
+		}
+		if err := w.commit(3, files); err != nil {
+			return err
+		}
+		if w.cfg.Checkpoint && !w.cfg.KeepIntermediates {
+			// The sorted file is only removed once the segments are
+			// durably committed, so a crash mid-partition can redo it.
+			if err := n.FS().Remove(w.sortedName()); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("step 3 on node %d: %w", id, err)
+			}
+		}
 	}
 	endPhase()
 	if err := mark(2, before); err != nil {
 		return err
 	}
 
-	// Step 4: redistribution.
+	// Step 4: redistribution.  Needy nodes (phase 4 not committed)
+	// re-receive everything; every node — including ones already past
+	// phase 4 — re-sends its retained segments to the needy receivers,
+	// which is exactly the recovery of the lost in-flight messages.
 	before = n.IOStats()
 	endPhase = n.TracePhase(StepNames[3])
-	recvNames, err := w.redistribute(segSizes)
-	if err != nil {
+	needy := make([]bool, n.P())
+	for j := range needy {
+		needy[j] = w.plan == nil || w.plan.Done[j] < 4
+	}
+	if err := w.sendSegments(needy); err != nil {
 		return fmt.Errorf("step 4 on node %d: %w", id, err)
+	}
+	recvNames := make([]string, n.P())
+	for i := range recvNames {
+		recvNames[i] = w.recvName(i)
+	}
+	if needy[id] {
+		counts, err := w.receiveSegments(recvNames)
+		if err != nil {
+			return fmt.Errorf("step 4 on node %d: %w", id, err)
+		}
+		n.CrashPoint(StepNames[3])
+		if done < 4 && w.cfg.Checkpoint {
+			var files []checkpoint.FileInfo
+			for j := 0; j < n.P(); j++ {
+				// Own segments stay durable for peers' recoveries...
+				sz, err := diskio.CountKeys(n.FS(), w.segName(j))
+				if err != nil {
+					return fmt.Errorf("step 4 on node %d: %w", id, err)
+				}
+				files = append(files, checkpoint.FileInfo{Name: w.segName(j), Keys: sz})
+			}
+			for i, name := range recvNames {
+				// ...and the received files feed the final merge.
+				files = append(files, checkpoint.FileInfo{Name: name, Keys: counts[i]})
+			}
+			if err := w.commit(4, files); err != nil {
+				return err
+			}
+		}
+	} else {
+		w.skipPhase(3)
 	}
 	endPhase()
 	if err := mark(3, before); err != nil {
@@ -329,8 +553,35 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	// Step 5: final merge.
 	before = n.IOStats()
 	endPhase = n.TracePhase(StepNames[4])
-	if err := w.finalMerge(recvNames); err != nil {
-		return fmt.Errorf("step 5 on node %d: %w", id, err)
+	if done >= 5 {
+		w.skipPhase(4)
+	} else {
+		if err := w.finalMerge(recvNames); err != nil {
+			return fmt.Errorf("step 5 on node %d: %w", id, err)
+		}
+		n.CrashPoint(StepNames[4])
+		outKeys, err := diskio.CountKeys(n.FS(), w.output)
+		if err != nil {
+			return fmt.Errorf("step 5 on node %d: %w", id, err)
+		}
+		if err := w.commit(5, []checkpoint.FileInfo{{Name: w.output, Keys: outKeys}}); err != nil {
+			return err
+		}
+		// Once phase 5 is committed no recovery can need the segments
+		// or received files: a peer at phase 5 implies every node
+		// committed phase 4 (the barrier ordering guarantees it).
+		if w.cfg.Checkpoint && !w.cfg.KeepIntermediates {
+			for j := 0; j < n.P(); j++ {
+				if err := n.FS().Remove(w.segName(j)); err != nil && !errors.Is(err, os.ErrNotExist) {
+					return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
+				}
+			}
+			for _, name := range recvNames {
+				if err := n.FS().Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+					return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
+				}
+			}
+		}
 	}
 	endPhase()
 	return mark(4, before)
@@ -350,9 +601,9 @@ func (w *worker) polyCfg(prefix string) polyphase.Config {
 	}
 }
 
-func (w *worker) sequentialSort() error {
-	_, err := polyphase.Sort(w.polyCfg("hetsort.s1."), w.input, w.sortedName())
-	return err
+func (w *worker) sequentialSort() (int64, error) {
+	st, err := polyphase.Sort(w.polyCfg("hetsort.s1."), w.input, w.sortedName())
+	return st.Keys, err
 }
 
 // selectPivots implements step 2: sample the sorted file at regular
@@ -476,7 +727,9 @@ func (w *worker) partition(pivots []record.Key) ([]int64, error) {
 			return nil, err
 		}
 	}
-	if !w.cfg.KeepIntermediates {
+	if !w.cfg.KeepIntermediates && !w.cfg.Checkpoint {
+		// With checkpointing the sorted file survives until the segment
+		// files are durably committed (see run).
 		if err := n.FS().Remove(w.sortedName()); err != nil {
 			return nil, err
 		}
@@ -487,22 +740,29 @@ func (w *worker) partition(pivots []record.Key) ([]int64, error) {
 func (w *worker) segName(j int) string  { return fmt.Sprintf("hetsort.seg%d", j) }
 func (w *worker) recvName(i int) string { return fmt.Sprintf("hetsort.recv%d", i) }
 
-// redistribute implements step 4: segment j is shipped to node j in
-// MessageKeys-sized messages; each node writes what it receives from
-// node i into a separate (sorted) file recv_i.  A zero-length sentinel
-// message terminates each stream.
-func (w *worker) redistribute(segSizes []int64) ([]string, error) {
+// sendSegments implements the sending half of step 4: segment j is
+// shipped to node j in MessageKeys-sized messages, terminated by a
+// zero-length sentinel.  Only needy receivers (phase 4 not yet
+// committed) are sent to — on a fresh run that is everyone; on a resumed
+// run the retained segments are re-read and re-sent only to the nodes
+// whose in-flight messages died with the crash.  Buffered links make the
+// sends non-blocking, so a simple send-all-then-receive-all order cannot
+// deadlock.
+func (w *worker) sendSegments(needy []bool) error {
 	n, cfg := w.n, w.cfg
-	p, id := n.P(), n.ID()
-
-	// Send loop: stream every segment out in message-sized chunks.
-	// Buffered links make the sends non-blocking, so a simple
-	// send-all-then-receive-all order cannot deadlock.
+	p := n.P()
+	resend := w.plan != nil && w.plan.Done[n.ID()] >= 4
 	buf := make([]record.Key, cfg.MessageKeys)
 	for j := 0; j < p; j++ {
+		if !needy[j] {
+			continue
+		}
+		if resend {
+			n.TraceEvent(trace.Recovery, "resend", fmt.Sprintf("seg%d -> node %d", j, j))
+		}
 		f, err := n.FS().Open(w.segName(j))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
 		for {
@@ -510,7 +770,7 @@ func (w *worker) redistribute(segSizes []int64) ([]string, error) {
 			if cnt > 0 {
 				if err := n.Send(j, tagData, buf[:cnt]); err != nil {
 					f.Close()
-					return nil, err
+					return err
 				}
 			}
 			if rerr == io.EOF || cnt == 0 {
@@ -518,33 +778,38 @@ func (w *worker) redistribute(segSizes []int64) ([]string, error) {
 			}
 			if rerr != nil {
 				f.Close()
-				return nil, rerr
+				return rerr
 			}
 		}
 		if err := f.Close(); err != nil {
-			return nil, err
+			return err
 		}
 		// Zero-length message with the data tag terminates the stream.
 		if err := n.Send(j, tagData, nil); err != nil {
-			return nil, err
+			return err
 		}
-		if !cfg.KeepIntermediates {
+		if !cfg.KeepIntermediates && !cfg.Checkpoint {
+			// Without checkpointing a sent segment is dead weight; with
+			// it, segments are retained until phase 5 commits so a
+			// recovered peer can ask for them again.
 			if err := n.FS().Remove(w.segName(j)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	_ = segSizes
-	_ = id
+	return nil
+}
 
-	// Receive loop: drain each peer in rank order, writing its stream
-	// to a private file.  Keys from one peer arrive sorted (the
-	// segment was a slice of a sorted file), so recv_i is sorted.
-	names := make([]string, p)
+// receiveSegments implements the receiving half of step 4: drain each
+// peer in rank order, writing its stream to a private file.  Keys from
+// one peer arrive sorted (the segment was a slice of a sorted file), so
+// recv_i is sorted.  Returns the key count received from each peer.
+func (w *worker) receiveSegments(names []string) ([]int64, error) {
+	n, cfg := w.n, w.cfg
+	p := n.P()
+	counts := make([]int64, p)
 	for i := 0; i < p; i++ {
-		name := w.recvName(i)
-		names[i] = name
-		f, err := n.FS().Create(name)
+		f, err := n.FS().Create(names[i])
 		if err != nil {
 			return nil, err
 		}
@@ -563,6 +828,7 @@ func (w *worker) redistribute(segSizes []int64) ([]string, error) {
 				return nil, err
 			}
 		}
+		counts[i] = wr.KeysWritten()
 		if err := wr.Close(); err != nil {
 			f.Close()
 			return nil, err
@@ -571,7 +837,7 @@ func (w *worker) redistribute(segSizes []int64) ([]string, error) {
 			return nil, err
 		}
 	}
-	return names, nil
+	return counts, nil
 }
 
 // finalMerge implements step 5: external merge of the p received files.
@@ -579,7 +845,9 @@ func (w *worker) finalMerge(recvNames []string) error {
 	if err := polyphase.MergeFiles(w.polyCfg("hetsort.s5."), recvNames, w.output); err != nil {
 		return err
 	}
-	if !w.cfg.KeepIntermediates {
+	if !w.cfg.KeepIntermediates && !w.cfg.Checkpoint {
+		// With checkpointing the received files survive until phase 5
+		// commits (see run), so a crash during the merge can redo it.
 		for _, name := range recvNames {
 			if err := w.n.FS().Remove(name); err != nil {
 				return err

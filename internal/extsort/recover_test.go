@@ -1,0 +1,302 @@
+package extsort
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+	"hetsort/internal/trace"
+)
+
+// collectOutput concatenates the node output files in rank order.
+func collectOutput(t *testing.T, c *cluster.Cluster, block int) []record.Key {
+	t.Helper()
+	var all []record.Key
+	for i := 0; i < c.P(); i++ {
+		part, err := diskio.ReadFileAll(c.Node(i).FS(), "output", block, diskio.Accounting{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, part...)
+	}
+	return all
+}
+
+func totalIO(c *cluster.Cluster) int64 {
+	var io int64
+	for i := 0; i < c.P(); i++ {
+		io += c.Node(i).IOStats().Total()
+	}
+	return io
+}
+
+// TestCrashAtEveryPhaseResumesIdentically is the acceptance property of
+// the checkpoint subsystem: kill a node at any of the five phase
+// boundaries — just before its commit, or just after it (mixed-phase
+// cluster state) — and the resumed run must produce output identical to
+// an uninterrupted run of the same configuration and seed.
+func TestCrashAtEveryPhaseResumesIdentically(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 14)
+	base := testConfig(v)
+	base.Checkpoint = true
+	const seed = 42
+
+	// Reference: the same checkpointed sort, uninterrupted.
+	refC := newCluster(t, v)
+	refSum, err := DistributeInput(refC, v, record.Uniform, n, seed, base.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := base
+	refCfg.InputSum = refSum
+	if _, err := Sort(refC, refCfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	want := collectOutput(t, refC, base.BlockKeys)
+
+	var points []string
+	for _, s := range StepNames {
+		points = append(points, s)              // after the phase's work, before its commit
+		points = append(points, "committed:"+s) // after the commit, before the barrier
+	}
+	points = append(points, "committed:start") // right after the phase-0 manifest
+
+	for pi, point := range points {
+		point := point
+		crashNode := pi % len(v)
+		t.Run(point, func(t *testing.T) {
+			c := newCluster(t, v)
+			sum, err := DistributeInput(c, v, record.Uniform, n, seed, base.BlockKeys, "input")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.InputSum = sum
+			if err := c.ScheduleCrash(crashNode, -1, point); err != nil {
+				t.Fatal(err)
+			}
+			_, err = Sort(c, cfg, "input", "output")
+			if !cluster.IsCrash(err) {
+				t.Fatalf("crash at %q did not surface: %v", point, err)
+			}
+			crashedIO := totalIO(c)
+
+			res, got, err := Resume(c, cfg, "input", "output")
+			if err != nil {
+				t.Fatalf("resume after crash at %q: %v", point, err)
+			}
+			if !got.Equal(sum) {
+				t.Error("manifest input checksum differs from the distributed input's")
+			}
+			if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+				t.Fatalf("resumed output: %v", err)
+			}
+			out := collectOutput(t, c, cfg.BlockKeys)
+			if len(out) != len(want) {
+				t.Fatalf("resumed output has %d keys, reference %d", len(out), len(want))
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("resumed output diverges from the uninterrupted run at key %d: %d != %d",
+						i, out[i], want[i])
+				}
+			}
+			// The redone work is real, accounted I/O.  The one point
+			// with nothing to redo is a crash after the final commit:
+			// there the resume legitimately performs no new I/O.
+			var resumedIO int64
+			for _, s := range res.NodeIO {
+				resumedIO += s.Total()
+			}
+			if crashedIO == 0 {
+				t.Error("crashed run performed no accounted I/O")
+			}
+			if resumedIO == 0 && point != "committed:"+StepNames[4] {
+				t.Errorf("recovery I/O not accounted after crash at %q", point)
+			}
+			if res.Time <= 0 {
+				t.Errorf("resumed run reports no virtual time")
+			}
+		})
+	}
+}
+
+// TestResumeTraceAndResend checks the observability contract: a resumed
+// run traces its recovery decisions, and a node that died during
+// redistribution gets its lost segments re-sent from the peers'
+// retained partition files (visible as "resend" recovery events).
+func TestResumeTraceAndResend(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 14)
+	tl := new(trace.Log)
+	c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns(), BlockKeys: 64, Trace: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	sum, err := DistributeInput(c, v, record.Uniform, n, 7, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InputSum = sum
+	// Die after receiving but before committing phase 4: the node's
+	// in-flight state is lost while its peers commit and move on.
+	if err := c.ScheduleCrash(1, -1, StepNames[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(c, cfg, "input", "output"); !cluster.IsCrash(err) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if _, _, err := Resume(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+		t.Fatal(err)
+	}
+	var commits, recoveries, resends int
+	for _, e := range tl.Events() {
+		switch e.Kind {
+		case trace.Checkpoint:
+			commits++
+		case trace.Recovery:
+			recoveries++
+			if e.Label == "resend" {
+				resends++
+			}
+		}
+	}
+	if commits == 0 {
+		t.Error("no checkpoint commit events traced")
+	}
+	if recoveries == 0 {
+		t.Error("no recovery events traced")
+	}
+	if resends == 0 {
+		t.Error("no resend events: lost redistribution segments were not re-sent")
+	}
+}
+
+func TestResumeRejectsChangedConfig(t *testing.T) {
+	v := perf.Vector{1, 1}
+	n := v.NearestValidSize(1 << 12)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	sum, err := DistributeInput(c, v, record.Uniform, n, 3, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InputSum = sum
+	if err := c.ScheduleCrash(0, -1, StepNames[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(c, cfg, "input", "output"); !cluster.IsCrash(err) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	changed := cfg
+	changed.MessageKeys = cfg.MessageKeys * 2
+	if _, _, err := Resume(c, changed, "input", "output"); err == nil {
+		t.Fatal("resume with a different message size accepted")
+	} else if !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// The original configuration still resumes.
+	if _, _, err := Resume(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeWithoutManifests(t *testing.T) {
+	v := perf.Vector{1, 1}
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	if _, err := DistributeInput(c, v, record.Uniform, 1<<10, 1, cfg.BlockKeys, "input"); err != nil {
+		t.Fatal(err)
+	}
+	// Not checkpointed, so there is nothing to resume from.
+	if _, err := Sort(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(c, cfg, "input", "output"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want a no-manifest error, got %v", err)
+	}
+}
+
+// TestCheckpointedSortCleansIntermediates: after an uninterrupted
+// checkpointed run, the retained segment and received files are gone —
+// retention ends at the phase-5 commit — and only input, output and the
+// manifest remain.
+func TestCheckpointedSortCleansIntermediates(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 13)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	sum, err := DistributeInput(c, v, record.Uniform, n, 5, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InputSum = sum
+	if _, err := Sort(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.P(); i++ {
+		names, err := c.Node(i).FS().Names()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			switch name {
+			case "input", "output", "hetsort.ckpt":
+			default:
+				t.Errorf("node %d: leftover intermediate %q", i, name)
+			}
+		}
+	}
+}
+
+// TestCrashMidPhaseByClock kills a node by virtual-time trigger (inside
+// a phase, not at a boundary) and resumes.
+func TestCrashMidPhaseByClock(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 14)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	sum, err := DistributeInput(c, v, record.Uniform, n, 9, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InputSum = sum
+	// First, measure an uninterrupted run to pick a mid-run clock.
+	probe := newCluster(t, v)
+	if _, err := DistributeInput(probe, v, record.Uniform, n, 9, cfg.BlockKeys, "input"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sort(probe, cfg, "input", "output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScheduleCrash(2, res.Time/2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(c, cfg, "input", "output"); !cluster.IsCrash(err) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if _, _, err := Resume(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOutput(c, "output", cfg.BlockKeys, sum); err != nil {
+		t.Fatal(err)
+	}
+}

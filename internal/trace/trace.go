@@ -26,6 +26,13 @@ const (
 	MessageReceived
 	// Mark is a free-form annotation.
 	Mark
+	// Checkpoint records a durable phase-manifest commit (Detail
+	// describes the committed phase and clock).
+	Checkpoint
+	// Recovery records a recovery action during a resumed run: a
+	// skipped (already committed) phase, a clock replay, or a re-sent
+	// redistribution segment.
+	Recovery
 )
 
 func (k Kind) String() string {
@@ -40,6 +47,10 @@ func (k Kind) String() string {
 		return "recv"
 	case Mark:
 		return "mark"
+	case Checkpoint:
+		return "checkpoint"
+	case Recovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
