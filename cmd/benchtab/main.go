@@ -7,29 +7,54 @@
 //	benchtab                     # whole suite at the default 1/64 scale
 //	benchtab -shift 0 -trials 30 # the paper's full input sizes and repetitions (slow)
 //	benchtab -experiment table3  # a single experiment
+//	benchtab -experiment pipeline -cpuprofile cpu.pprof
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
-// figure1, all.
+// figure1, distributions, ablations, checkpoint, pipeline, all.
+//
+// The pipeline experiment (ablation A8) additionally writes its rows to
+// BENCH_pipeline.json.  -cpuprofile/-memprofile write pprof profiles of
+// the selected experiments, and every run ends with a host-side cost
+// table (wall clock, allocations, allocs per sorted key).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"hetsort/internal/experiments"
+	"hetsort/internal/stats"
 )
 
 func main() {
 	var (
-		shift  = flag.Uint("shift", 6, "right-shift applied to the paper's input sizes (0 = full scale)")
-		trials = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
-		onDisk = flag.Bool("ondisk", false, "use real temporary directories for node disks")
-		tmp    = flag.String("tmpdir", "", "root directory for -ondisk")
-		which  = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, all")
-		seed   = flag.Int64("seed", 1, "base input seed")
+		shift   = flag.Uint("shift", 6, "right-shift applied to the paper's input sizes (0 = full scale)")
+		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
+		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
+		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, all")
+		seed    = flag.Int64("seed", 1, "base input seed")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	o := experiments.Options{
 		SizeShift: *shift,
@@ -40,14 +65,27 @@ func main() {
 	}
 	fmt.Printf("hetsort benchtab: size shift 2^-%d, %d trials per point\n\n", *shift, *trials)
 
+	cost := &stats.Table{
+		Title:   "Host cost per experiment",
+		Headers: []string{"Experiment", "Wall", "Allocs", "Allocs/op"},
+	}
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
 		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		allocs := after.Mallocs - before.Mallocs
+		opKeys := float64(int64(1<<22) >> *shift) // the suite's reference sort size
+		cost.AddRow(name, wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", allocs), fmt.Sprintf("%.2f", float64(allocs)/opKeys))
 		fmt.Println()
 	}
 
@@ -128,4 +166,47 @@ func main() {
 		fmt.Print(experiments.AblationsString(rows))
 		return nil
 	})
+	run("pipeline", func() error {
+		rows, err := experiments.PipelineAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationsString(rows))
+		if err := writeJSON("BENCH_pipeline.json", struct {
+			Experiment string                    `json:"experiment"`
+			SizeShift  uint                      `json:"size_shift"`
+			Rows       []experiments.AblationRow `json:"rows"`
+		}{"pipeline", *shift, rows}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_pipeline.json")
+		return nil
+	})
+
+	fmt.Print(cost.String())
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeJSON(name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
 }

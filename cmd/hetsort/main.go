@@ -37,6 +37,7 @@ func main() {
 		gen      = flag.Int64("gen", 0, "generate this many keys into -input instead of sorting")
 		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered)")
 		seed     = flag.Int64("seed", 1, "seed for -gen")
+		pipeline = flag.Bool("pipeline", false, "fuse steps 4+5: merge redistribution streams directly into the output")
 		verbose  = flag.Bool("v", false, "print the full per-step report")
 		withGant = flag.Bool("trace", false, "print a virtual-time Gantt chart of the run")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for node disks with durable phase checkpoints (implies -workdir)")
@@ -82,6 +83,7 @@ func main() {
 		Network:     *network,
 		WorkDir:     *workdir,
 		Trace:       *withGant,
+		Pipeline:    *pipeline,
 	}
 	if *ckptDir != "" {
 		cfg.WorkDir = *ckptDir

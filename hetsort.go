@@ -127,6 +127,14 @@ type Config struct {
 	// Trace, when true, records a virtual-time event trace of the run
 	// into Report.Timeline and Report.Gantt.
 	Trace bool
+	// Pipeline fuses Algorithm 1's steps 4 and 5: incoming
+	// redistribution streams are merged directly into each node's
+	// output file as messages arrive, skipping the received files'
+	// write and re-read.  Output is byte-identical to the barrier
+	// path.  Only meaningful for AlgorithmExternalPSRS; with
+	// Checkpoint enabled the streams are still spilled to durable
+	// receive files for the phase-4 manifest.
+	Pipeline bool
 	// Checkpoint controls the fault-tolerance subsystem.
 	Checkpoint CheckpointConfig
 }
@@ -268,6 +276,7 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 		Strategy:     strat,
 		QuantileEps:  c.QuantileEps,
 		Seed:         c.Seed,
+		Pipeline:     c.Pipeline,
 	}, nil
 }
 

@@ -12,8 +12,9 @@ import (
 	"hetsort/internal/vtime"
 )
 
-// message is one point-to-point transfer.  Payloads are copied on send,
-// so the sender may reuse its buffer.
+// message is one point-to-point transfer.  Send copies the payload so
+// the sender may reuse its buffer; SendOwned transfers ownership of a
+// (typically pooled) buffer without copying.
 type message struct {
 	tag     int
 	keys    []record.Key
@@ -44,12 +45,15 @@ type Config struct {
 	// PDM complexity measure) is unchanged.  Default 1, the paper's
 	// configuration ("we have one disk attached per processor").
 	DisksPerNode int
-	// LinkBuffer is the per-link message queue capacity (default
-	// 1<<17 messages).  The sorts' send-all-then-receive-all exchange
-	// can queue a whole segment per link, so the default accommodates
-	// the paper's full 2^24-key runs even at the 8-integer message
-	// size of the packet sweep; the in-flight *data* volume is bounded
-	// by the dataset either way.
+	// LinkBuffer is the per-link message queue capacity (default 4096
+	// messages).  The sorts' send-all-then-receive-all exchange can
+	// queue a whole segment per link, so a sort must grow the queues
+	// to its own bound — ceil(l_i/MessageKeys) messages for the
+	// largest portion l_i, plus the end-of-stream sentinel — via
+	// EnsureLinkCapacity before Run (extsort and dewitt do; see
+	// LinkBound).  The default only covers collectives and modest
+	// direct exchanges; the in-flight *data* volume is bounded by the
+	// dataset either way.
 	LinkBuffer int
 	// Trace, when non-nil, receives message and phase events with
 	// virtual timestamps.
@@ -63,8 +67,48 @@ type Cluster struct {
 	trace *trace.Log
 	links [][]chan message // links[from][to]
 
+	// payloads recycles message payload buffers across the whole
+	// cluster (senders acquire, receivers release), eliminating the
+	// per-message allocation of the redistribution exchange.
+	payloads sync.Pool
+
 	abort     chan struct{} // closed when any node fails during Run
 	abortOnce *sync.Once
+}
+
+// LinkBound returns the per-link queue capacity a send-all-then-
+// receive-all exchange needs so sends never block: one message per
+// MessageKeys-sized packet of the largest per-node portion (maxKeys),
+// the zero-length end-of-stream sentinel, and a small margin for
+// control traffic and collectives.  Sorts pass the result to
+// EnsureLinkCapacity before Run.
+func LinkBound(maxKeys int64, messageKeys int) int {
+	if messageKeys <= 0 {
+		messageKeys = 1
+	}
+	b := int((maxKeys+int64(messageKeys)-1)/int64(messageKeys)) + 1 + 16
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// EnsureLinkCapacity grows every link queue to hold at least msgs
+// messages (it never shrinks).  Queued messages are preserved.  Must
+// not be called while Run is executing.
+func (c *Cluster) EnsureLinkCapacity(msgs int) {
+	for i := range c.links {
+		for j, link := range c.links[i] {
+			if cap(link) >= msgs {
+				continue
+			}
+			grown := make(chan message, msgs)
+			for len(link) > 0 {
+				grown <- <-link
+			}
+			c.links[i][j] = grown
+		}
+	}
 }
 
 // CrashError is the failure a scheduled crash injects: the node stops
@@ -140,7 +184,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Disks = func(int) diskio.FS { return diskio.NewMemFS() }
 	}
 	if cfg.LinkBuffer <= 0 {
-		cfg.LinkBuffer = 1 << 17
+		cfg.LinkBuffer = 1 << 12
 	}
 	if cfg.DisksPerNode <= 0 {
 		cfg.DisksPerNode = 1
@@ -346,15 +390,53 @@ func (n *Node) ChargeSeek(seeks int64) {
 	n.crashIfDue()
 }
 
+// AcquireBuf returns a payload buffer of the given length from the
+// cluster-wide pool (allocating when the pool is empty).  Fill it and
+// hand it to SendOwned; the receiver returns it with ReleaseBuf.
+func (n *Node) AcquireBuf(size int) []record.Key {
+	if v := n.cluster.payloads.Get(); v != nil {
+		if b := v.([]record.Key); cap(b) >= size {
+			return b[:size]
+		}
+	}
+	return make([]record.Key, size)
+}
+
+// ReleaseBuf returns a payload buffer to the pool.  Release a buffer at
+// most once, and do not touch it afterwards.
+func (n *Node) ReleaseBuf(buf []record.Key) {
+	if cap(buf) == 0 {
+		return
+	}
+	n.cluster.payloads.Put(buf[:0]) //nolint:staticcheck // slice header alloc is fine
+}
+
 // Send transfers keys to node `to` with the given tag.  The payload is
-// copied.  The sender's clock advances by the transmit occupancy
-// (size/bandwidth); the message arrives at sender-completion + latency.
-// Sending to self is a cheap local enqueue with no network cost.
+// copied, so the sender may reuse its buffer.  The sender's clock
+// advances by the transmit occupancy (size/bandwidth); the message
+// arrives at sender-completion + latency.  Sending to self is a cheap
+// local enqueue with no network cost.
 func (n *Node) Send(to, tag int, keys []record.Key) error {
+	return n.send(to, tag, keys, true)
+}
+
+// SendOwned transfers keys without copying: ownership of the buffer
+// (typically from AcquireBuf) passes to the receiver, which releases it
+// via ReleaseBuf once consumed.  Self-sends are true zero-copy local
+// enqueues.  Virtual-time cost is identical to Send — the copy it
+// eliminates is real host work, not simulated work.
+func (n *Node) SendOwned(to, tag int, keys []record.Key) error {
+	return n.send(to, tag, keys, false)
+}
+
+func (n *Node) send(to, tag int, keys []record.Key, copyPayload bool) error {
 	if to < 0 || to >= n.P() {
 		return fmt.Errorf("cluster: node %d sending to invalid rank %d", n.id, to)
 	}
-	payload := append([]record.Key(nil), keys...)
+	payload := keys
+	if copyPayload {
+		payload = append([]record.Key(nil), keys...)
+	}
 	var arrival float64
 	remote := to != n.id
 	if !remote {
@@ -390,6 +472,9 @@ func (n *Node) Send(to, tag int, keys []record.Key) error {
 // It blocks until the message is available and advances the receiver's
 // clock to at least the message's arrival time.  Receives are
 // deterministic: callers name the peer, and per-link delivery is FIFO.
+// The returned slice is the message payload itself (never a copy); if
+// the sender used SendOwned with a pooled buffer, pass it to ReleaseBuf
+// when done to recycle it.
 func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
 	if from < 0 || from >= n.P() {
 		return nil, fmt.Errorf("cluster: node %d receiving from invalid rank %d", n.id, from)

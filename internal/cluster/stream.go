@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"io"
+
+	"hetsort/internal/record"
+)
+
+// Stream presents the sequence of same-tagged messages from one peer as
+// an incrementally consumable sorted key stream: Buffered, Discard and
+// Fill mirror polyphase.MergeSource, so a receiving node can merge
+// redistribution traffic straight off the wire without first spooling
+// it to disk (the fused steps 4+5 of Algorithm 1).  A zero-length
+// message is the end-of-stream sentinel, exactly as in the barrier
+// exchange.
+//
+// The Stream owns each message payload while it is buffered and returns
+// it to the cluster's pool when the next Fill replaces it; callers must
+// Close the stream to release the final buffer.
+type Stream struct {
+	n        *Node
+	from     int
+	tag      int
+	buf      []record.Key
+	pos      int
+	done     bool
+	received int64
+
+	// Tee, when non-nil, observes every message payload on arrival,
+	// before any of it is consumed.  The extsort checkpoint fallback
+	// uses it to spill the stream to a durable receive file while the
+	// in-memory merge proceeds.
+	Tee func([]record.Key) error
+}
+
+// OpenStream starts consuming messages with the given tag from peer
+// `from` on this node.
+func (n *Node) OpenStream(from, tag int) *Stream {
+	return &Stream{n: n, from: from, tag: tag}
+}
+
+// Buffered returns the unconsumed keys of the current message.
+func (s *Stream) Buffered() []record.Key { return s.buf[s.pos:] }
+
+// Discard consumes the first n buffered keys.
+func (s *Stream) Discard(n int) { s.pos += n }
+
+// Fill blocks for the next message once the buffer is empty.  It
+// returns io.EOF after the sender's zero-length sentinel.
+func (s *Stream) Fill() error {
+	if s.pos < len(s.buf) {
+		return nil
+	}
+	if s.done {
+		return io.EOF
+	}
+	s.release()
+	keys, err := s.n.Recv(s.from, s.tag)
+	if err != nil {
+		return err
+	}
+	if s.Tee != nil && len(keys) > 0 {
+		if err := s.Tee(keys); err != nil {
+			s.n.ReleaseBuf(keys)
+			return err
+		}
+	}
+	if len(keys) == 0 {
+		s.done = true
+		return io.EOF
+	}
+	s.buf, s.pos = keys, 0
+	s.received += int64(len(keys))
+	return nil
+}
+
+// Received returns the number of keys delivered so far (sentinel
+// excluded).
+func (s *Stream) Received() int64 { return s.received }
+
+// Close releases the stream's current buffer back to the pool.
+func (s *Stream) Close() {
+	s.release()
+	s.pos = 0
+}
+
+func (s *Stream) release() {
+	if s.buf != nil {
+		s.n.ReleaseBuf(s.buf)
+		s.buf = nil
+	}
+}

@@ -3,11 +3,53 @@ package diskio
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"hetsort/internal/pdm"
 	"hetsort/internal/record"
 	"hetsort/internal/vtime"
 )
+
+// Block buffers are recycled across Readers and Writers: a sort opens
+// and closes thousands of short-lived block streams (one per run, per
+// tape, per segment), and the per-stream block allocations dominated the
+// allocation profile.  The pools hand back any buffer with enough
+// capacity; block sizes within one run are uniform, so hit rates are
+// high.
+var (
+	byteBufPool sync.Pool // []byte block buffers
+	keyBufPool  sync.Pool // []record.Key decode buffers
+)
+
+func getByteBuf(n int) []byte {
+	if v := byteBufPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putByteBuf(b []byte) {
+	if cap(b) > 0 {
+		byteBufPool.Put(b[:0]) //nolint:staticcheck // slice header alloc is fine
+	}
+}
+
+func getKeyBuf(n int) []record.Key {
+	if v := keyBufPool.Get(); v != nil {
+		if b := v.([]record.Key); cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]record.Key, 0, n)
+}
+
+func putKeyBuf(b []record.Key) {
+	if cap(b) > 0 {
+		keyBufPool.Put(b[:0]) //nolint:staticcheck
+	}
+}
 
 // Accounting bundles the two sinks every block transfer reports to: the
 // PDM I/O counter (complexity accounting) and the virtual-time meter
@@ -48,14 +90,17 @@ func (a Accounting) seek(n int64) {
 // the accounting sinks one block write per block (a final partial block
 // counts as one whole transfer, as in the PDM).
 type Writer struct {
-	f     File
-	acct  Accounting
-	block int // keys per block
-	buf   []byte
-	n     int   // keys buffered
-	total int64 // keys written overall
-	err   error
+	f      File
+	acct   Accounting
+	block  int // keys per block
+	buf    []byte
+	n      int   // keys buffered
+	total  int64 // keys written overall
+	closed bool
+	err    error
 }
+
+var errWriterClosed = fmt.Errorf("diskio: write on closed Writer")
 
 // NewWriter returns a Writer on f with the given block size in keys.
 func NewWriter(f File, blockKeys int, acct Accounting) *Writer {
@@ -66,7 +111,7 @@ func NewWriter(f File, blockKeys int, acct Accounting) *Writer {
 		f:     f,
 		acct:  acct,
 		block: blockKeys,
-		buf:   make([]byte, 0, blockKeys*record.KeySize),
+		buf:   getByteBuf(blockKeys * record.KeySize)[:0],
 	}
 }
 
@@ -74,6 +119,9 @@ func NewWriter(f File, blockKeys int, acct Accounting) *Writer {
 func (w *Writer) WriteKeys(keys []record.Key) error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.closed {
+		return errWriterClosed
 	}
 	for len(keys) > 0 {
 		room := w.block - w.n
@@ -116,13 +164,21 @@ func (w *Writer) flushBlock() error {
 // KeysWritten returns the number of keys accepted so far.
 func (w *Writer) KeysWritten() int64 { return w.total }
 
-// Close flushes the final partial block.  It does not close the
-// underlying file handle; the caller owns it.
+// Close flushes the final partial block and returns the block buffer to
+// the pool.  It does not close the underlying file handle; the caller
+// owns it.  Close is idempotent.
 func (w *Writer) Close() error {
-	if w.err != nil {
+	if w.closed {
 		return w.err
 	}
-	return w.flushBlock()
+	err := w.err
+	if err == nil {
+		err = w.flushBlock()
+	}
+	w.closed = true
+	putByteBuf(w.buf)
+	w.buf = nil
+	return err
 }
 
 // Reader streams keys from a file in blocks of BlockSize keys, charging
@@ -146,7 +202,8 @@ func NewReader(f File, blockKeys int, acct Accounting) *Reader {
 		f:     f,
 		acct:  acct,
 		block: blockKeys,
-		buf:   make([]byte, blockKeys*record.KeySize),
+		buf:   getByteBuf(blockKeys * record.KeySize),
+		keys:  getKeyBuf(blockKeys),
 	}
 }
 
@@ -173,6 +230,34 @@ func (r *Reader) fill() error {
 	}
 	r.err = err
 	return err
+}
+
+// Buffered returns the keys decoded but not yet consumed.  The slice is
+// valid until the next Fill, ReadKey or ReadKeys call.
+func (r *Reader) Buffered() []record.Key { return r.keys[r.pos:] }
+
+// Discard consumes the first n buffered keys.
+func (r *Reader) Discard(n int) { r.pos += n }
+
+// Fill decodes the next block once the buffer is empty, charging one
+// block read; io.EOF when the file is exhausted.  Together with
+// Buffered and Discard this satisfies polyphase.MergeSource.
+func (r *Reader) Fill() error {
+	if r.pos < len(r.keys) {
+		return nil
+	}
+	return r.fill()
+}
+
+// Release returns the Reader's block buffers to the pool.  The Reader
+// must not be used afterwards; further reads fail cleanly.
+func (r *Reader) Release() {
+	putByteBuf(r.buf)
+	putKeyBuf(r.keys)
+	r.buf, r.keys, r.pos = nil, nil, 0
+	if r.err == nil {
+		r.err = fmt.Errorf("diskio: read on released Reader")
+	}
 }
 
 // ReadKey returns the next key, or io.EOF when the stream is exhausted.

@@ -318,3 +318,33 @@ func TestDistributionSweep(t *testing.T) {
 		t.Fatal("render")
 	}
 }
+
+func TestPipelineAblation(t *testing.T) {
+	o := fastOptions()
+	o.Trials = 1
+	rows, err := PipelineAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three variants x three metrics.  Byte-identity and the strict I/O
+	// reduction are asserted inside PipelineAblation itself; here we
+	// check the rendered shape.
+	if len(rows) != 9 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	variants := map[string]bool{}
+	for _, r := range rows {
+		if r.ID != "A8" {
+			t.Fatalf("unexpected ID %q", r.ID)
+		}
+		variants[r.Variant] = true
+	}
+	for _, v := range []string{"barrier", "pipelined", "pipelined+ckpt"} {
+		if !variants[v] {
+			t.Fatalf("variant %s missing", v)
+		}
+	}
+	if !strings.Contains(AblationsString(rows), "A8") {
+		t.Fatal("render")
+	}
+}

@@ -86,6 +86,20 @@ type Config struct {
 	// KeepIntermediates retains segment and received files for
 	// debugging when true.
 	KeepIntermediates bool
+	// Pipeline fuses steps 4 and 5: each node merges the incoming
+	// redistribution streams directly into its output file as messages
+	// arrive, never materialising the p received files — saving their
+	// write and re-read (up to 2·l_i/B block I/Os per node).  The
+	// output is byte-identical to the barrier path.  When the p
+	// message buffers do not fit in MemoryKeys the node falls back to
+	// the barrier path (traced as a Pipeline "fallback" event); when
+	// Checkpoint is set the streams are additionally teed to the
+	// receive files, which the phase-4 manifest needs durable — that
+	// still saves the l_i/B re-read.  Pipeline is an execution
+	// strategy, not an outcome parameter: it is deliberately excluded
+	// from the resume fingerprint, so an interrupted run may be
+	// resumed with either setting.
+	Pipeline bool
 	// Checkpoint makes the five phase boundaries durable commit points:
 	// each node writes a manifest (see internal/checkpoint) to its
 	// private FS after every phase, segment files are retained until
@@ -268,6 +282,18 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	}
 	stepEnds := make([][5]float64, p) // per node, clock at each barrier
 	pivotsOut := make([][]record.Key, p)
+
+	// Size the link queues from the dataset: step 4's send-all-then-
+	// receive-all exchange queues at most one whole segment (≤ l_i
+	// keys) per link, so sends never block and the exchange order
+	// cannot deadlock, barrier or pipelined.
+	var maxPortion int64
+	for i := 0; i < p; i++ {
+		if li, err := diskio.CountKeys(c.Node(i).FS(), inputName); err == nil && li > maxPortion {
+			maxPortion = li
+		}
+	}
+	c.EnsureLinkCapacity(cluster.LinkBound(maxPortion, cfg.MessageKeys))
 
 	err := c.Run(func(n *cluster.Node) error {
 		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
@@ -511,6 +537,18 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	for j := range needy {
 		needy[j] = w.plan == nil || w.plan.Done[j] < 4
 	}
+	// With Pipeline, a needy node fuses step 5 into this step: the
+	// incoming streams are merged straight into the output file while
+	// the messages arrive.  The fused work (receive, merge compute,
+	// output writes) is all attributed to step 4's window; step 5 then
+	// only commits and cleans up.  The fallback keeps the barrier path
+	// when the p message buffers would not fit in memory.
+	pipelined := w.cfg.Pipeline && needy[id]
+	if pipelined && !w.cfg.pipelineFits(n.P()) {
+		pipelined = false
+		n.TraceEvent(trace.Pipeline, "fallback",
+			fmt.Sprintf("fan-in %d x %d-key messages exceeds MemoryKeys=%d", n.P(), w.cfg.MessageKeys, w.cfg.MemoryKeys))
+	}
 	if err := w.sendSegments(needy); err != nil {
 		return fmt.Errorf("step 4 on node %d: %w", id, err)
 	}
@@ -518,8 +556,16 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	for i := range recvNames {
 		recvNames[i] = w.recvName(i)
 	}
+	merged := false
 	if needy[id] {
-		counts, err := w.receiveSegments(recvNames)
+		var counts []int64
+		var err error
+		if pipelined {
+			counts, err = w.pipelineMerge(recvNames)
+			merged = err == nil
+		} else {
+			counts, err = w.receiveSegments(recvNames)
+		}
 		if err != nil {
 			return fmt.Errorf("step 4 on node %d: %w", id, err)
 		}
@@ -550,14 +596,17 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 		return err
 	}
 
-	// Step 5: final merge.
+	// Step 5: final merge (already performed in-stream when pipelined;
+	// then this window only holds the commit and cleanup).
 	before = n.IOStats()
 	endPhase = n.TracePhase(StepNames[4])
 	if done >= 5 {
 		w.skipPhase(4)
 	} else {
-		if err := w.finalMerge(recvNames); err != nil {
-			return fmt.Errorf("step 5 on node %d: %w", id, err)
+		if !merged {
+			if err := w.finalMerge(recvNames); err != nil {
+				return fmt.Errorf("step 5 on node %d: %w", id, err)
+			}
 		}
 		n.CrashPoint(StepNames[4])
 		outKeys, err := diskio.CountKeys(n.FS(), w.output)
@@ -747,12 +796,13 @@ func (w *worker) recvName(i int) string { return fmt.Sprintf("hetsort.recv%d", i
 // run the retained segments are re-read and re-sent only to the nodes
 // whose in-flight messages died with the crash.  Buffered links make the
 // sends non-blocking, so a simple send-all-then-receive-all order cannot
-// deadlock.
+// deadlock.  Payloads are pooled buffers whose ownership transfers with
+// the message (SendOwned), so redistribution allocates nothing steady-
+// state and self-sends move no bytes at all.
 func (w *worker) sendSegments(needy []bool) error {
 	n, cfg := w.n, w.cfg
 	p := n.P()
 	resend := w.plan != nil && w.plan.Done[n.ID()] >= 4
-	buf := make([]record.Key, cfg.MessageKeys)
 	for j := 0; j < p; j++ {
 		if !needy[j] {
 			continue
@@ -766,12 +816,15 @@ func (w *worker) sendSegments(needy []bool) error {
 		}
 		r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
 		for {
+			buf := n.AcquireBuf(cfg.MessageKeys)
 			cnt, rerr := r.ReadKeys(buf)
 			if cnt > 0 {
-				if err := n.Send(j, tagData, buf[:cnt]); err != nil {
+				if err := n.SendOwned(j, tagData, buf[:cnt]); err != nil {
 					f.Close()
 					return err
 				}
+			} else {
+				n.ReleaseBuf(buf)
 			}
 			if rerr == io.EOF || cnt == 0 {
 				break
@@ -781,11 +834,12 @@ func (w *worker) sendSegments(needy []bool) error {
 				return rerr
 			}
 		}
+		r.Release()
 		if err := f.Close(); err != nil {
 			return err
 		}
 		// Zero-length message with the data tag terminates the stream.
-		if err := n.Send(j, tagData, nil); err != nil {
+		if err := n.SendOwned(j, tagData, nil); err != nil {
 			return err
 		}
 		if !cfg.KeepIntermediates && !cfg.Checkpoint {
@@ -823,9 +877,11 @@ func (w *worker) receiveSegments(names []string) ([]int64, error) {
 			if len(keys) == 0 {
 				break
 			}
-			if err := wr.WriteKeys(keys); err != nil {
+			werr := wr.WriteKeys(keys)
+			n.ReleaseBuf(keys)
+			if werr != nil {
 				f.Close()
-				return nil, err
+				return nil, werr
 			}
 		}
 		counts[i] = wr.KeysWritten()

@@ -1,0 +1,100 @@
+package extsort
+
+import (
+	"fmt"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/trace"
+)
+
+// pipelineFits reports whether the fused receive→merge of step 4+5 fits
+// the node's memory budget: one MessageKeys buffer per incoming stream,
+// one spill-writer block per stream (only used under Checkpoint, but
+// budgeted conservatively), and the output writer's block.
+func (c Config) pipelineFits(p int) bool {
+	return (c.MessageKeys+c.BlockKeys)*p+c.BlockKeys <= c.MemoryKeys
+}
+
+// pipelineMerge is the fused steps 4+5 for a needy node: it merges the
+// p incoming redistribution streams directly into the output file as
+// the messages arrive, so the received data is never written to disk
+// and re-read (the barrier path's 2·l_i/B block I/Os).  With Checkpoint
+// the streams are additionally teed to the durable receive files the
+// phase-4 manifest lists — spill-while-merging — which still saves the
+// re-read.  Returns the per-peer key counts, exactly like
+// receiveSegments.
+func (w *worker) pipelineMerge(recvNames []string) (counts []int64, err error) {
+	n, cfg := w.n, w.cfg
+	p := n.P()
+
+	streams := make([]*cluster.Stream, p)
+	spillFiles := make([]diskio.File, p)
+	spillW := make([]*diskio.Writer, p)
+	defer func() {
+		for _, s := range streams {
+			if s != nil {
+				s.Close()
+			}
+		}
+		for i := range spillW {
+			if spillW[i] != nil {
+				if cerr := spillW[i].Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if spillFiles[i] != nil {
+				if cerr := spillFiles[i].Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	}()
+	for i := 0; i < p; i++ {
+		s := n.OpenStream(i, tagData)
+		if cfg.Checkpoint {
+			f, cerr := n.FS().Create(recvNames[i])
+			if cerr != nil {
+				return nil, cerr
+			}
+			wr := diskio.NewWriter(f, cfg.BlockKeys, n.Acct())
+			spillFiles[i], spillW[i] = f, wr
+			s.Tee = wr.WriteKeys
+		}
+		streams[i] = s
+	}
+
+	mode := "fused"
+	if cfg.Checkpoint {
+		mode = "spill"
+	}
+	n.TraceEvent(trace.Pipeline, mode, fmt.Sprintf("fan-in:%d msg:%d", p, cfg.MessageKeys))
+
+	outFile, err := n.FS().Create(w.output)
+	if err != nil {
+		return nil, err
+	}
+	out := diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+	srcs := make([]polyphase.MergeSource, p)
+	for i := range streams {
+		srcs[i] = streams[i]
+	}
+	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+		out.Close()
+		outFile.Close()
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		outFile.Close()
+		return nil, err
+	}
+	if err := outFile.Close(); err != nil {
+		return nil, err
+	}
+	counts = make([]int64, p)
+	for i, s := range streams {
+		counts[i] = s.Received()
+	}
+	return counts, nil
+}

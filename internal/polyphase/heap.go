@@ -16,85 +16,6 @@ import (
 	"hetsort/internal/vtime"
 )
 
-// mergeItem is one head-of-run entry in the merge heap.
-type mergeItem struct {
-	key record.Key
-	src int // index of the source run/tape
-}
-
-// mergeHeap is a hand-rolled binary min-heap over mergeItem.  We avoid
-// container/heap's interface indirection in the innermost loop and
-// charge the meter explicitly per sift step so virtual time reflects the
-// O(log k) comparisons per extracted key.
-type mergeHeap struct {
-	items []mergeItem
-	meter vtime.Meter
-}
-
-func newMergeHeap(capacity int, meter vtime.Meter) *mergeHeap {
-	if meter == nil {
-		meter = vtime.Nop{}
-	}
-	return &mergeHeap{items: make([]mergeItem, 0, capacity), meter: meter}
-}
-
-func (h *mergeHeap) len() int { return len(h.items) }
-
-func (h *mergeHeap) push(it mergeItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
-	var ops int64
-	for i > 0 {
-		parent := (i - 1) / 2
-		ops++
-		if h.items[parent].key <= h.items[i].key {
-			break
-		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
-		i = parent
-	}
-	h.meter.ChargeCompute(ops + 1)
-}
-
-// pop removes and returns the minimum item.
-func (h *mergeHeap) pop() mergeItem {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items = h.items[:last]
-	h.siftDown(0)
-	return top
-}
-
-// replaceTop replaces the minimum with it and restores heap order; this
-// is the common path in a k-way merge (pop+push fused, half the work).
-func (h *mergeHeap) replaceTop(it mergeItem) {
-	h.items[0] = it
-	h.siftDown(0)
-}
-
-func (h *mergeHeap) siftDown(i int) {
-	n := len(h.items)
-	var ops int64
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && h.items[l].key < h.items[smallest].key {
-			smallest = l
-		}
-		if r < n && h.items[r].key < h.items[smallest].key {
-			smallest = r
-		}
-		ops += 2
-		if smallest == i {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	h.meter.ChargeCompute(ops + 1)
-}
-
 // selectionItem is an entry in the replacement-selection heap: keys
 // tagged with the run generation they belong to, ordered by (run, key).
 type selectionItem struct {

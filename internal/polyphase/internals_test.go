@@ -1,6 +1,8 @@
 package polyphase
 
 import (
+	"io"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -9,55 +11,126 @@ import (
 	"hetsort/internal/vtime"
 )
 
-func TestMergeHeapOrdering(t *testing.T) {
-	h := newMergeHeap(8, vtime.Nop{})
-	keys := []record.Key{5, 3, 9, 1, 7, 1, 0xffffffff, 0}
-	for i, k := range keys {
-		h.push(mergeItem{key: k, src: i})
+// sliceSource serves a sorted key slice through MergeSource in blocks of
+// blk keys, mimicking a file-backed reader.
+type sliceSource struct {
+	keys []record.Key
+	blk  int
+	buf  []record.Key
+}
+
+func (s *sliceSource) Buffered() []record.Key { return s.buf }
+func (s *sliceSource) Discard(n int)          { s.buf = s.buf[n:] }
+func (s *sliceSource) Fill() error {
+	if len(s.buf) > 0 {
+		return nil
 	}
+	if len(s.keys) == 0 {
+		return io.EOF
+	}
+	n := s.blk
+	if n > len(s.keys) {
+		n = len(s.keys)
+	}
+	s.buf, s.keys = s.keys[:n], s.keys[n:]
+	return nil
+}
+
+func mergeAll(t *testing.T, srcs []MergeSource, meter vtime.Meter) []record.Key {
+	t.Helper()
 	var out []record.Key
-	for h.len() > 0 {
-		out = append(out, h.pop().key)
+	if err := Merge(srcs, meter, func(chunk []record.Key) error {
+		out = append(out, chunk...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
-	if !record.IsSorted(out) {
-		t.Fatalf("heap pops out of order: %v", out)
+	return out
+}
+
+func TestLoserTreeOrdering(t *testing.T) {
+	runs := [][]record.Key{
+		{1, 3, 5, 0xffffffff},
+		{0, 2, 2, 9},
+		{},
+		{7},
+		{2, 4},
 	}
-	if len(out) != len(keys) {
-		t.Fatalf("lost items: %v", out)
+	var srcs []MergeSource
+	var want []record.Key
+	for _, r := range runs {
+		srcs = append(srcs, &sliceSource{keys: r, blk: 2})
+		want = append(want, r...)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	out := mergeAll(t, srcs, vtime.Nop{})
+	if len(out) != len(want) {
+		t.Fatalf("merged %d keys, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
 	}
 }
 
-func TestMergeHeapReplaceTop(t *testing.T) {
-	h := newMergeHeap(4, vtime.Nop{})
-	for _, k := range []record.Key{10, 20, 30} {
-		h.push(mergeItem{key: k})
+func TestLoserTreeSingleSourceAndEmpty(t *testing.T) {
+	if out := mergeAll(t, nil, nil); len(out) != 0 {
+		t.Fatalf("empty merge produced %v", out)
 	}
-	h.replaceTop(mergeItem{key: 25})
-	if got := h.pop().key; got != 20 {
-		t.Fatalf("min after replaceTop = %d, want 20", got)
-	}
-	if got := h.pop().key; got != 25 {
-		t.Fatalf("second pop = %d, want 25", got)
+	one := []MergeSource{&sliceSource{keys: []record.Key{4, 4, 8}, blk: 2}}
+	out := mergeAll(t, one, nil)
+	if len(out) != 3 || out[0] != 4 || out[2] != 8 {
+		t.Fatalf("single-source merge = %v", out)
 	}
 }
 
-func TestMergeHeapProperty(t *testing.T) {
-	f := func(keys []record.Key) bool {
-		h := newMergeHeap(len(keys), nil)
-		for i, k := range keys {
-			h.push(mergeItem{key: k, src: i})
+func TestLoserTreeProperty(t *testing.T) {
+	f := func(raw [][]record.Key, blk uint8) bool {
+		b := int(blk%7) + 1
+		var srcs []MergeSource
+		var want []record.Key
+		for _, r := range raw {
+			r := append([]record.Key(nil), r...)
+			sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+			srcs = append(srcs, &sliceSource{keys: r, blk: b})
+			want = append(want, r...)
 		}
-		var out []record.Key
-		for h.len() > 0 {
-			out = append(out, h.pop().key)
-		}
-		if len(out) != len(keys) {
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		out := mergeAll(t, srcs, nil)
+		if len(out) != len(want) {
 			return false
 		}
-		return record.IsSorted(out)
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLoserTreeChunkedEmit(t *testing.T) {
+	// Non-overlapping sources must be emitted block-at-a-time, not
+	// key-at-a-time: source 0's whole buffer is below source 1's head.
+	srcs := []MergeSource{
+		&sliceSource{keys: []record.Key{1, 2, 3, 4, 5, 6, 7, 8}, blk: 4},
+		&sliceSource{keys: []record.Key{100, 101, 102, 103}, blk: 4},
+	}
+	var chunks int
+	if err := Merge(srcs, nil, func(chunk []record.Key) error {
+		chunks++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 blocks from source 0, 1 block from source 1 (plus at most one
+	// extra boundary chunk): far fewer than the 12 per-key emits.
+	if chunks > 4 {
+		t.Fatalf("expected block-copy fast path, got %d chunks for 12 keys", chunks)
 	}
 }
 
@@ -91,18 +164,16 @@ func TestSelectionHeapReplaceTop(t *testing.T) {
 	}
 }
 
-func TestHeapsChargeCompute(t *testing.T) {
+func TestMergeKernelChargesCompute(t *testing.T) {
 	var charged int64
 	m := &captureMeter{compute: &charged}
-	h := newMergeHeap(16, m)
-	for i := 0; i < 16; i++ {
-		h.push(mergeItem{key: record.Key(16 - i)})
+	srcs := []MergeSource{
+		&sliceSource{keys: []record.Key{1, 4, 9, 12}, blk: 2},
+		&sliceSource{keys: []record.Key{2, 3, 10, 11}, blk: 2},
 	}
-	for h.len() > 0 {
-		h.pop()
-	}
-	if charged == 0 {
-		t.Fatal("heap operations charged no compute")
+	out := mergeAll(t, srcs, m)
+	if charged < int64(len(out)) {
+		t.Fatalf("merge of %d keys charged only %d compute ops", len(out), charged)
 	}
 }
 

@@ -58,11 +58,18 @@ func MergeFiles(cfg Config, inputs []string, outputName string) error {
 	return mergeGroup(cfg, current, outputName)
 }
 
-// mergeGroup streams a single k-way merge of the sorted inputs into out.
+// mergeGroup streams a single k-way merge of the sorted inputs into out
+// through the loser-tree kernel.
 func mergeGroup(cfg Config, inputs []string, out string) error {
-	readers := make([]*diskio.Reader, len(inputs))
 	files := make([]diskio.File, len(inputs))
+	srcs := make([]MergeSource, len(inputs))
+	readers := make([]*diskio.Reader, len(inputs))
 	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Release()
+			}
+		}
 		for _, f := range files {
 			if f != nil {
 				f.Close()
@@ -76,6 +83,7 @@ func mergeGroup(cfg Config, inputs []string, out string) error {
 		}
 		files[i] = f
 		readers[i] = diskio.NewReader(f, cfg.BlockKeys, cfg.Acct)
+		srcs[i] = readers[i]
 	}
 	of, err := cfg.FS.Create(out)
 	if err != nil {
@@ -83,32 +91,10 @@ func mergeGroup(cfg Config, inputs []string, out string) error {
 	}
 	defer of.Close()
 	w := diskio.NewWriter(of, cfg.BlockKeys, cfg.Acct)
+	defer w.Close()
 
-	h := newMergeHeap(len(readers), cfg.Acct.Meter)
-	for i, r := range readers {
-		k, err := r.ReadKey()
-		if err == io.EOF {
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		h.push(mergeItem{key: k, src: i})
-	}
-	for h.len() > 0 {
-		it := h.items[0]
-		if err := w.WriteKey(it.key); err != nil {
-			return err
-		}
-		k, err := readers[it.src].ReadKey()
-		switch err {
-		case nil:
-			h.replaceTop(mergeItem{key: k, src: it.src})
-		case io.EOF:
-			h.pop()
-		default:
-			return err
-		}
+	if err := Merge(srcs, cfg.Acct.Meter, w.WriteKeys); err != nil {
+		return err
 	}
 	if err := w.Close(); err != nil {
 		return err

@@ -350,14 +350,44 @@ func mergePhase(tapes []*tape, out *tape, cfg Config) (int64, error) {
 	return steps, nil
 }
 
+// runSource adapts one scheduled run on a tape to the merge kernel: it
+// exposes the tape reader's buffer truncated to the run's remaining
+// length, so the kernel never consumes into the next run on the tape.
+type runSource struct {
+	t         *tape
+	remaining int64
+}
+
+func (s *runSource) Buffered() []record.Key {
+	b := s.t.r.Buffered()
+	if int64(len(b)) > s.remaining {
+		b = b[:s.remaining]
+	}
+	return b
+}
+
+func (s *runSource) Discard(n int) {
+	s.t.r.Discard(n)
+	s.remaining -= int64(n)
+}
+
+func (s *runSource) Fill() error {
+	if s.remaining == 0 {
+		return io.EOF
+	}
+	if err := s.t.r.Fill(); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // the run schedule promised more keys
+		}
+		return fmt.Errorf("reading run from %s: %w", s.t.name, err)
+	}
+	return nil
+}
+
 // mergeStep consumes one run (real or dummy) from every input tape and
 // appends the merged result to out.
 func mergeStep(inputs []*tape, out *tape, cfg Config) error {
-	type src struct {
-		t         *tape
-		remaining int64
-	}
-	var srcs []src
+	var srcs []MergeSource
 	for _, t := range inputs {
 		if t.dummies > 0 {
 			t.dummies--
@@ -368,44 +398,20 @@ func mergeStep(inputs []*tape, out *tape, cfg Config) error {
 		}
 		length := t.runs[0]
 		t.runs = t.runs[1:]
-		srcs = append(srcs, src{t: t, remaining: length})
+		srcs = append(srcs, &runSource{t: t, remaining: length})
 	}
 	if len(srcs) == 0 {
 		// All contributions were dummies: the output gets a dummy.
 		out.dummies++
 		return nil
 	}
-	h := newMergeHeap(len(srcs), cfg.Acct.Meter)
-	for i := range srcs {
-		if srcs[i].remaining == 0 {
-			continue
-		}
-		k, err := srcs[i].t.r.ReadKey()
-		if err != nil {
-			return fmt.Errorf("priming run from %s: %w", srcs[i].t.name, err)
-		}
-		srcs[i].remaining--
-		h.push(mergeItem{key: k, src: i})
-	}
 	var outLen int64
-	for h.len() > 0 {
-		it := h.pop()
-		if err := out.w.WriteKey(it.key); err != nil {
-			return err
-		}
-		outLen++
-		s := &srcs[it.src]
-		if s.remaining > 0 {
-			k, err := s.t.r.ReadKey()
-			if err != nil {
-				if err == io.EOF {
-					err = io.ErrUnexpectedEOF
-				}
-				return fmt.Errorf("reading run from %s: %w", s.t.name, err)
-			}
-			s.remaining--
-			h.push(mergeItem{key: k, src: it.src})
-		}
+	emit := func(chunk []record.Key) error {
+		outLen += int64(len(chunk))
+		return out.w.WriteKeys(chunk)
+	}
+	if err := Merge(srcs, cfg.Acct.Meter, emit); err != nil {
+		return err
 	}
 	out.runs = append(out.runs, outLen)
 	return nil

@@ -33,6 +33,11 @@ const (
 	// skipped (already committed) phase, a clock replay, or a re-sent
 	// redistribution segment.
 	Recovery
+	// Pipeline records a fused redistribution→merge decision: the node
+	// merged incoming streams directly into its output ("fused"), teed
+	// them to durable receive files for the checkpoint manifest
+	// ("spill"), or fell back to the barrier path ("fallback").
+	Pipeline
 )
 
 func (k Kind) String() string {
@@ -51,6 +56,8 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case Recovery:
 		return "recovery"
+	case Pipeline:
+		return "pipeline"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
