@@ -10,10 +10,14 @@
 //	benchtab -experiment pipeline -cpuprofile cpu.pprof
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
-// figure1, distributions, ablations, checkpoint, pipeline, all.
+// figure1, distributions, ablations, checkpoint, pipeline, attribution,
+// all.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
-// BENCH_pipeline.json.  -cpuprofile/-memprofile write pprof profiles of
+// BENCH_pipeline.json, and the attribution experiment — where each
+// node's virtual time went (compute/disk/network/idle) and the per-step
+// skew against the perf-vector prediction — writes
+// BENCH_attribution.json.  -cpuprofile/-memprofile write pprof profiles of
 // the selected experiments, and every run ends with a host-side cost
 // table (wall clock, allocations, allocs per sorted key).
 package main
@@ -37,7 +41,7 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, attribution, all")
 		seed    = flag.Int64("seed", 1, "base input seed")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -180,6 +184,22 @@ func main() {
 			return err
 		}
 		fmt.Println("wrote BENCH_pipeline.json")
+		return nil
+	})
+	run("attribution", func() error {
+		rep, err := experiments.RunAttribution(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AttributionString(rep))
+		if err := writeJSON("BENCH_attribution.json", struct {
+			Experiment string                         `json:"experiment"`
+			SizeShift  uint                           `json:"size_shift"`
+			Report     *experiments.AttributionReport `json:"report"`
+		}{"attribution", *shift, rep}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_attribution.json")
 		return nil
 	})
 

@@ -15,12 +15,15 @@ package main
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetsort"
 	"hetsort/internal/record"
+	"hetsort/internal/trace"
 )
 
 func main() {
@@ -40,11 +43,27 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "fuse steps 4+5: merge redistribution streams directly into the output")
 		verbose  = flag.Bool("v", false, "print the full per-step report")
 		withGant = flag.Bool("trace", false, "print a virtual-time Gantt chart of the run")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run (load in Perfetto); implies tracing")
+		evtsOut  = flag.String("events-out", "", "write the raw event stream as JSONL; implies tracing")
+		metsOut  = flag.String("metrics-out", "", "write per-node metrics and the virtual-time attribution as JSON")
+		validate = flag.String("validate-trace", "", "validate a trace_event JSON file written by -trace-out and exit")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for node disks with durable phase checkpoints (implies -workdir)")
 		resume   = flag.Bool("resume", false, "resume an interrupted checkpointed run from -checkpoint-dir")
 		crash    = flag.String("crash", "", "inject a crash for testing, as node:phase (e.g. 2:4)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.ValidateChromeTrace(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid Chrome trace_event JSON\n", *validate)
+		return
+	}
 
 	perfV, err := hetsort.ParsePerf(*perfStr)
 	if err != nil {
@@ -82,7 +101,7 @@ func main() {
 		MessageKeys: *msg,
 		Network:     *network,
 		WorkDir:     *workdir,
-		Trace:       *withGant,
+		Trace:       *withGant || *traceOut != "" || *evtsOut != "",
 		Pipeline:    *pipeline,
 	}
 	if *ckptDir != "" {
@@ -120,6 +139,67 @@ func main() {
 	if *withGant {
 		fmt.Print(rep.Gantt)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rep, trace.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (load at ui.perfetto.dev)\n", *traceOut)
+	}
+	if *evtsOut != "" {
+		if err := writeTrace(*evtsOut, rep, trace.WriteJSONL); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote event stream to %s\n", *evtsOut)
+	}
+	if *metsOut != "" {
+		if err := writeMetrics(*metsOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metsOut)
+	}
+}
+
+// writeTrace streams the report's raw event log through one of the
+// trace exporters into path.
+func writeTrace(path string, rep *hetsort.Report, export func(io.Writer, *trace.Log) error) error {
+	if rep.TraceLog == nil {
+		return fmt.Errorf("no trace recorded (internal error: tracing should be implied)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := export(w, rep.TraceLog); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the per-node registries and time attribution.
+func writeMetrics(path string, rep *hetsort.Report) error {
+	out := struct {
+		Time          float64                 `json:"time"`
+		NodeClocks    []float64               `json:"node_clocks"`
+		NodeBreakdown []hetsort.TimeBreakdown `json:"node_breakdown"`
+		NodeMetrics   []map[string]float64    `json:"node_metrics"`
+	}{rep.Time, rep.NodeClocks, rep.NodeBreakdown, rep.NodeMetrics}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func generate(path string, n int64, distName string, seed int64, parts int) error {

@@ -96,6 +96,7 @@ func SortFile(inputPath, outputPath string, cfg Config) (*Report, error) {
 	}
 	rep := newReport(res, v)
 	rep.attachTrace(tl)
+	rep.attachMetrics(c)
 	return rep, nil
 }
 
@@ -186,6 +187,7 @@ func Resume(outputPath string, cfg Config) (*Report, error) {
 	}
 	rep := newReport(res, v)
 	rep.attachTrace(tl)
+	rep.attachMetrics(c)
 	return rep, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"hetsort/internal/polyphase"
 	"hetsort/internal/record"
 	"hetsort/internal/trace"
+	"hetsort/internal/vtime"
 )
 
 // Key is the record type the library sorts: a 32-bit unsigned integer,
@@ -319,6 +320,7 @@ func Sort(keys []Key, cfg Config) ([]Key, *Report, error) {
 	}
 	rep := newReport(res, v)
 	rep.attachTrace(tl)
+	rep.attachMetrics(c)
 	return out, rep, nil
 }
 
@@ -369,11 +371,16 @@ func (c Config) sortOnCluster(cl *cluster.Cluster, v perf.Vector, want record.Ch
 		if err := extsort.VerifyOutput(cl, "output", c.blockKeys(), want); err != nil {
 			return nil, err
 		}
+		attr := make([]vtime.Breakdown, cl.P())
+		for i := range attr {
+			attr[i] = cl.Node(i).Attribution()
+		}
 		return &extsort.Result{
 			Time:           res.Time,
 			NodeClocks:     res.NodeClocks,
 			PartitionSizes: res.PartitionSizes,
 			NodeIO:         res.NodeIO,
+			NodeAttr:       attr,
 			Pivots:         res.Splitters,
 		}, nil
 	default:

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hetsort/internal/diskio"
+	"hetsort/internal/metrics"
 	"hetsort/internal/pdm"
 	"hetsort/internal/record"
 	"hetsort/internal/trace"
@@ -199,7 +200,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
-		c.nodes[i] = &Node{
+		n := &Node{
 			id:       i,
 			cluster:  c,
 			slowdown: cfg.Slowdowns[i],
@@ -207,7 +208,10 @@ func New(cfg Config) (*Cluster, error) {
 			block:    cfg.BlockKeys,
 			disks:    cfg.DisksPerNode,
 			fs:       cfg.Disks(i),
+			metrics:  metrics.NewRegistry(),
 		}
+		n.initMetricHandles(p)
+		c.nodes[i] = n
 	}
 	return c, nil
 }
@@ -233,12 +237,14 @@ func (c *Cluster) MaxClock() float64 {
 	return m
 }
 
-// ResetClocks zeroes every node clock and I/O counter (between
-// repetitions of an experiment).
+// ResetClocks zeroes every node clock, I/O counter, time attribution
+// and metrics registry (between repetitions of an experiment).
 func (c *Cluster) ResetClocks() {
 	for _, n := range c.nodes {
 		n.clock = 0
+		n.attr = vtime.Breakdown{}
 		n.counter.Reset()
+		n.metrics.Reset()
 	}
 }
 
@@ -307,10 +313,42 @@ type Node struct {
 	clock    float64
 	counter  pdm.Counter
 
+	// attr splits the clock into compute/disk/network/idle: every
+	// clock advance charges exactly one category, so the categories
+	// always sum to the clock (vtime.CheckAttribution).
+	attr vtime.Breakdown
+
+	// metrics is the node's registry; the typed handles below cache the
+	// hot-path metrics so sends and receives never take the registry
+	// lock.
+	metrics    *metrics.Registry
+	mSentMsgs  *metrics.Counter
+	mSentKeys  *metrics.Counter
+	mRecvMsgs  *metrics.Counter
+	mRecvKeys  *metrics.Counter
+	mSentTo    []*metrics.Counter // keys sent per outgoing link
+	mQueueHist *metrics.Histogram // queue depth sampled after each send
+	mQueueLast *metrics.Gauge
+
 	// Scheduled fault injection (see Cluster.ScheduleCrash).
 	crashArmed bool
 	crashClock float64
 	crashPoint string
+}
+
+// initMetricHandles pre-registers the hot-path metrics for a p-node
+// cluster, so Send/Recv only touch atomics.
+func (n *Node) initMetricHandles(p int) {
+	n.mSentMsgs = n.metrics.Counter("net.sent.msgs")
+	n.mSentKeys = n.metrics.Counter("net.sent.keys")
+	n.mRecvMsgs = n.metrics.Counter("net.recv.msgs")
+	n.mRecvKeys = n.metrics.Counter("net.recv.keys")
+	n.mSentTo = make([]*metrics.Counter, p)
+	for j := 0; j < p; j++ {
+		n.mSentTo[j] = n.metrics.Counter(fmt.Sprintf("net.sent.keys.to.%d", j))
+	}
+	n.mQueueHist = n.metrics.Histogram("net.queue.depth")
+	n.mQueueLast = n.metrics.Gauge("net.queue.depth.last")
 }
 
 // crashIfDue panics with a CrashError when the node's scheduled
@@ -349,12 +387,28 @@ func (n *Node) Slowdown() float64 { return n.slowdown }
 // Clock returns the node's virtual time in seconds.
 func (n *Node) Clock() float64 { return n.clock }
 
-// AdvanceClock adds dt virtual seconds of unscaled time (used for fixed
-// protocol overheads).
+// AdvanceClock adds dt virtual seconds of unscaled time, attributed to
+// idle-wait (its callers are waits: retry backoff delays and the
+// replayed clock of a resumed run).
 func (n *Node) AdvanceClock(dt float64) {
-	n.clock += dt
+	n.ChargeTime(vtime.Idle, dt)
+}
+
+// ChargeTime implements vtime.TimeMeter: it advances the clock by sec
+// unscaled virtual seconds attributed to cat.
+func (n *Node) ChargeTime(cat vtime.Category, sec float64) {
+	n.clock += sec
+	n.attr.Charge(cat, sec)
 	n.crashIfDue()
 }
+
+// Attribution returns the node's clock split into compute / disk /
+// network / idle-wait.  The categories sum to Clock() (within
+// vtime.AttributionTolerance of float drift).
+func (n *Node) Attribution() vtime.Breakdown { return n.attr }
+
+// Metrics returns the node's metrics registry.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
 
 // Counter returns the node's PDM I/O counter.
 func (n *Node) Counter() *pdm.Counter { return &n.counter }
@@ -370,8 +424,7 @@ func (n *Node) Acct() diskio.Accounting {
 
 // ChargeCompute implements vtime.Meter.
 func (n *Node) ChargeCompute(ops int64) {
-	n.clock += float64(ops) * n.cost.ComputeSec * n.slowdown
-	n.crashIfDue()
+	n.ChargeTime(vtime.Compute, float64(ops)*n.cost.ComputeSec*n.slowdown)
 }
 
 // Disks returns the node's PDM D parameter.
@@ -380,14 +433,22 @@ func (n *Node) Disks() int { return n.disks }
 // ChargeIOBlocks implements vtime.Meter.  With D independent disks the
 // transfer time divides by D (the PDM's parallel I/O step).
 func (n *Node) ChargeIOBlocks(blocks int64) {
-	n.clock += float64(blocks) * float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown / float64(n.disks)
-	n.crashIfDue()
+	n.ChargeTime(vtime.Disk, float64(blocks)*float64(n.block)*n.cost.IOBlockSecPerKey*n.slowdown/float64(n.disks))
 }
 
 // ChargeSeek implements vtime.Meter.
 func (n *Node) ChargeSeek(seeks int64) {
-	n.clock += float64(seeks) * n.cost.SeekSec * n.slowdown
-	n.crashIfDue()
+	n.ChargeTime(vtime.Disk, float64(seeks)*n.cost.SeekSec*n.slowdown)
+}
+
+// ObserveMerge implements polyphase's merge-kernel observer: the loser
+// tree reports its tree comparisons and block-copy fast-path hits here,
+// and the node folds them into its metrics registry.
+func (n *Node) ObserveMerge(keys, chunks, fastChunks, comparisons int64) {
+	n.metrics.Counter("merge.keys").Add(keys)
+	n.metrics.Counter("merge.chunks").Add(chunks)
+	n.metrics.Counter("merge.fastpath.chunks").Add(fastChunks)
+	n.metrics.Counter("merge.comparisons").Add(comparisons)
 }
 
 // AcquireBuf returns a payload buffer of the given length from the
@@ -452,12 +513,17 @@ func (n *Node) send(to, tag int, keys []record.Key, copyPayload bool) error {
 		if n.cluster.net.BytesPerSec > 0 {
 			occupancy += float64(bytes) / n.cluster.net.BytesPerSec
 		}
-		n.clock += occupancy
-		n.crashIfDue()
+		n.ChargeTime(vtime.Network, occupancy)
 		arrival = n.clock + n.cluster.net.LatencySec
 	}
 	select {
 	case n.cluster.links[n.id][to] <- message{tag: tag, keys: payload, arrival: arrival, remote: remote}:
+		n.mSentMsgs.Inc()
+		n.mSentKeys.Add(int64(len(keys)))
+		n.mSentTo[to].Add(int64(len(keys)))
+		depth := float64(len(n.cluster.links[n.id][to]))
+		n.mQueueHist.Observe(depth)
+		n.mQueueLast.Set(depth)
 		if tl := n.cluster.trace; tl != nil {
 			tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.MessageSent,
 				Label: fmt.Sprintf("tag%d", tag), Detail: fmt.Sprintf("to:%d keys:%d", to, len(keys))})
@@ -496,13 +562,16 @@ func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
 			n.id, wantTag, from, msg.tag)
 	}
 	if msg.arrival > n.clock {
-		n.clock = msg.arrival
+		// The gap until the message arrives is time spent blocked on
+		// the peer: idle-wait, not network occupancy.
+		n.ChargeTime(vtime.Idle, msg.arrival-n.clock)
 	}
 	if msg.remote {
 		// Receive-side protocol processing.
-		n.clock += n.cluster.net.LatencySec
+		n.ChargeTime(vtime.Network, n.cluster.net.LatencySec)
 	}
-	n.crashIfDue()
+	n.mRecvMsgs.Inc()
+	n.mRecvKeys.Add(int64(len(msg.keys)))
 	if tl := n.cluster.trace; tl != nil {
 		tl.Add(trace.Event{Node: n.id, Clock: n.clock, Kind: trace.MessageReceived,
 			Label: fmt.Sprintf("tag%d", wantTag), Detail: fmt.Sprintf("from:%d keys:%d", from, len(msg.keys))})

@@ -458,3 +458,25 @@ func TestNewWriterReaderPanicOnBadBlock(t *testing.T) {
 		}()
 	}
 }
+
+func TestPoolStatsCountReuse(t *testing.T) {
+	ResetPoolStats()
+	// A fresh block size misses; round-tripping the same buffer through
+	// the pool should then hit (sync.Pool may drop entries under GC
+	// pressure, so only the miss side is asserted exactly).
+	b := getByteBuf(1 << 12)
+	_, misses0 := PoolStats()
+	if misses0 == 0 {
+		t.Fatal("first allocation did not count as a miss")
+	}
+	putByteBuf(b)
+	getByteBuf(1 << 12)
+	hits, misses := PoolStats()
+	if hits+misses <= misses0 {
+		t.Fatalf("second acquisition unaccounted: hits=%d misses=%d", hits, misses)
+	}
+	ResetPoolStats()
+	if h, m := PoolStats(); h != 0 || m != 0 {
+		t.Fatalf("reset left hits=%d misses=%d", h, m)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"hetsort/internal/pdm"
 	"hetsort/internal/record"
@@ -19,14 +20,34 @@ import (
 var (
 	byteBufPool sync.Pool // []byte block buffers
 	keyBufPool  sync.Pool // []record.Key decode buffers
+
+	poolHits   atomic.Int64 // buffers served from a pool
+	poolMisses atomic.Int64 // fresh allocations (empty pool or too small)
 )
+
+// PoolStats reports the process-wide block-buffer pool behaviour: hits
+// (a pooled buffer with enough capacity was reused) and misses (a fresh
+// buffer had to be allocated).  The pools are shared by every simulated
+// node, so these are process-level observability numbers, not per-node
+// virtual-time quantities.
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// ResetPoolStats zeroes the pool counters (between benchmark runs).
+func ResetPoolStats() {
+	poolHits.Store(0)
+	poolMisses.Store(0)
+}
 
 func getByteBuf(n int) []byte {
 	if v := byteBufPool.Get(); v != nil {
 		if b := v.([]byte); cap(b) >= n {
+			poolHits.Add(1)
 			return b[:n]
 		}
 	}
+	poolMisses.Add(1)
 	return make([]byte, n)
 }
 
@@ -39,9 +60,11 @@ func putByteBuf(b []byte) {
 func getKeyBuf(n int) []record.Key {
 	if v := keyBufPool.Get(); v != nil {
 		if b := v.([]record.Key); cap(b) >= n {
+			poolHits.Add(1)
 			return b[:0]
 		}
 	}
+	poolMisses.Add(1)
 	return make([]record.Key, 0, n)
 }
 

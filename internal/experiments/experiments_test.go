@@ -348,3 +348,29 @@ func TestPipelineAblation(t *testing.T) {
 		t.Fatal("render")
 	}
 }
+
+func TestRunAttribution(t *testing.T) {
+	rep, err := RunAttribution(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != len(PaperVector) {
+		t.Fatalf("%d nodes in report", len(rep.Nodes))
+	}
+	for _, n := range rep.Nodes {
+		if n.Clock <= 0 || n.Breakdown.Total() <= 0 {
+			t.Fatalf("empty attribution for node %d: %+v", n.Node, n)
+		}
+		for s, skew := range n.StepSkew {
+			if skew < 0 || skew > 10 {
+				t.Fatalf("node %d step %d skew %v out of range", n.Node, s, skew)
+			}
+		}
+	}
+	out := AttributionString(rep)
+	for _, frag := range []string{"Compute", "Disk", "Network", "Idle", "skew", "1:sequential-sort"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"hetsort/internal/record"
 	"hetsort/internal/sampling"
 	"hetsort/internal/trace"
+	"hetsort/internal/vtime"
 )
 
 // Message tags.
@@ -181,6 +182,13 @@ type Result struct {
 	NodeIO []pdm.IOStats
 	// StepIO[s][i] is node i's I/O during step s.
 	StepIO [5][]pdm.IOStats
+	// NodeAttr[i] splits node i's final clock into compute, disk,
+	// network and idle-wait virtual time.  The categories sum to
+	// NodeClocks[i] (vtime.CheckAttribution holds for every node).
+	NodeAttr []vtime.Breakdown
+	// StepAttr[s][i] is node i's attribution during step s, barrier to
+	// barrier (so the barrier wait counts as the step's idle time).
+	StepAttr [5][]vtime.Breakdown
 	// Pivots are the broadcast pivots (diagnostics).
 	Pivots []record.Key
 }
@@ -276,9 +284,11 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 		NodeClocks:     make([]float64, p),
 		PartitionSizes: make([]int64, p),
 		NodeIO:         make([]pdm.IOStats, p),
+		NodeAttr:       make([]vtime.Breakdown, p),
 	}
 	for s := range res.StepIO {
 		res.StepIO[s] = make([]pdm.IOStats, p)
+		res.StepAttr[s] = make([]vtime.Breakdown, p)
 	}
 	stepEnds := make([][5]float64, p) // per node, clock at each barrier
 	pivotsOut := make([][]record.Key, p)
@@ -298,7 +308,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	err := c.Run(func(n *cluster.Node) error {
 		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
 			plan: plan, sig: cfg.sig(inputName, outputName)}
-		return w.run(&stepEnds[n.ID()], &res.StepIO, &pivotsOut[n.ID()])
+		return w.run(&stepEnds[n.ID()], &res.StepIO, &res.StepAttr, &pivotsOut[n.ID()])
 	})
 	if err != nil {
 		return nil, err
@@ -307,6 +317,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	for i := 0; i < p; i++ {
 		res.NodeClocks[i] = c.Node(i).Clock()
 		res.NodeIO[i] = c.Node(i).IOStats()
+		res.NodeAttr[i] = c.Node(i).Attribution()
 		sz, err := diskio.CountKeys(c.Node(i).FS(), outputName)
 		if err != nil {
 			return nil, fmt.Errorf("extsort: counting node %d output: %w", i, err)
@@ -373,7 +384,15 @@ func (w *worker) commit(phase int, files []checkpoint.FileInfo) error {
 		Pivots: w.pivots,
 		Files:  files,
 	}
-	if err := checkpoint.Save(n.FS(), m, n.Acct()); err != nil {
+	// Manifest I/O is charged to phase 0 (checkpointing is bookkeeping,
+	// not an Algorithm-1 step), and its virtual latency is observed.
+	step := n.Counter().CurrentPhase()
+	n.Counter().SetPhase(0)
+	start := n.Clock()
+	err := checkpoint.Save(n.FS(), m, n.Acct())
+	n.Metrics().Histogram("checkpoint.commit.vsec").Observe(n.Clock() - start)
+	n.Counter().SetPhase(step)
+	if err != nil {
 		return err
 	}
 	label := "start"
@@ -391,16 +410,27 @@ func (w *worker) skipPhase(step int) {
 	w.n.TraceEvent(trace.Recovery, StepNames[step], "skipped (already committed)")
 }
 
-func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *[]record.Key) error {
+func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[5][]vtime.Breakdown, pivotsOut *[]record.Key) error {
 	n := w.n
 	id := n.ID()
 	done := w.done()
+	// begin/mark bracket one step: block I/O is attributed to the step's
+	// phase cell and the clock attribution delta is recorded barrier to
+	// barrier, so waiting at the barrier counts as the step's idle time.
+	var attrBefore vtime.Breakdown
+	begin := func(step int) pdm.IOStats {
+		n.Counter().SetPhase(step + 1)
+		attrBefore = n.Attribution()
+		return n.IOStats()
+	}
 	mark := func(step int, before pdm.IOStats) error {
 		if err := n.Barrier(tagBarrierBase + 2*step); err != nil {
 			return err
 		}
 		stepEnds[step] = n.Clock()
 		stepIO[step][id] = n.IOStats().Sub(before)
+		stepAttr[step][id] = n.Attribution().Sub(attrBefore)
+		n.Counter().SetPhase(0)
 		return nil
 	}
 
@@ -422,7 +452,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	}
 
 	// Step 1: sequential external sort.
-	before := n.IOStats()
+	before := begin(0)
 	endPhase := n.TracePhase(StepNames[0])
 	if done >= 1 {
 		w.skipPhase(0)
@@ -445,7 +475,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	// phase 2, the pivots were already selected and broadcast (the
 	// collective completed), so every node adopts the manifest copy
 	// without a re-gather; otherwise all nodes re-run the collective.
-	before = n.IOStats()
+	before = begin(1)
 	endPhase = n.TracePhase(StepNames[1])
 	var pivots []record.Key
 	switch {
@@ -497,7 +527,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	}
 
 	// Step 3: partitioning.
-	before = n.IOStats()
+	before = begin(2)
 	endPhase = n.TracePhase(StepNames[2])
 	if done >= 3 {
 		w.skipPhase(2)
@@ -531,7 +561,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 	// re-receive everything; every node — including ones already past
 	// phase 4 — re-sends its retained segments to the needy receivers,
 	// which is exactly the recovery of the lost in-flight messages.
-	before = n.IOStats()
+	before = begin(3)
 	endPhase = n.TracePhase(StepNames[3])
 	needy := make([]bool, n.P())
 	for j := range needy {
@@ -598,7 +628,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, pivotsOut *
 
 	// Step 5: final merge (already performed in-stream when pipelined;
 	// then this window only holds the commit and cleanup).
-	before = n.IOStats()
+	before = begin(4)
 	endPhase = n.TracePhase(StepNames[4])
 	if done >= 5 {
 		w.skipPhase(4)

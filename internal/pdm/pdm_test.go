@@ -241,3 +241,51 @@ func TestStringContainsDerived(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterPhaseAttribution(t *testing.T) {
+	var c Counter
+	if c.CurrentPhase() != 0 {
+		t.Fatalf("zero counter starts in phase %d", c.CurrentPhase())
+	}
+	c.AddRead(2) // unattributed setup I/O
+	c.SetPhase(1)
+	c.AddRead(3)
+	c.AddWrite(4)
+	c.SetPhase(5)
+	c.AddSeek(7)
+	ps := c.PhaseSnapshot()
+	if ps[0].Reads != 2 || ps[1].Reads != 3 || ps[1].Writes != 4 || ps[5].Seeks != 7 {
+		t.Fatalf("phase snapshot %+v", ps)
+	}
+	// Per-phase attribution must sum to the run totals.
+	var sum IOStats
+	for _, s := range ps {
+		sum = sum.Add(s)
+	}
+	if sum != c.Snapshot() {
+		t.Fatalf("phase sum %+v != totals %+v", sum, c.Snapshot())
+	}
+}
+
+func TestCounterPhaseClampAndReset(t *testing.T) {
+	var c Counter
+	c.SetPhase(99) // out of range clamps to 0
+	if c.CurrentPhase() != 0 {
+		t.Fatalf("phase 99 clamped to %d, want 0", c.CurrentPhase())
+	}
+	c.SetPhase(-3)
+	if c.CurrentPhase() != 0 {
+		t.Fatalf("phase -3 clamped to %d, want 0", c.CurrentPhase())
+	}
+	c.SetPhase(2)
+	c.AddWrite(5)
+	c.Reset()
+	if c.CurrentPhase() != 0 || c.Total() != 0 {
+		t.Fatalf("reset left phase=%d total=%d", c.CurrentPhase(), c.Total())
+	}
+	for i, s := range c.PhaseSnapshot() {
+		if s.Total() != 0 || s.Seeks != 0 {
+			t.Fatalf("reset left phase %d with %+v", i, s)
+		}
+	}
+}

@@ -25,6 +25,17 @@ type MergeSource interface {
 	Fill() error
 }
 
+// MergeObserver is an optional extension of vtime.Meter: a meter that
+// also implements it receives the merge kernel's counters when a Merge
+// finishes — emitted keys, emitted chunks, chunks that took the
+// block-copy fast path (more than one key moved per tree replay), and
+// tournament-tree comparisons.  cluster.Node implements it to feed the
+// per-node metrics registry; the int64-only signature keeps this package
+// free of a metrics dependency.
+type MergeObserver interface {
+	ObserveMerge(keys, chunks, fastChunks, comparisons int64)
+}
+
 // exhausted is the sentinel head for a drained source; it compares
 // greater than any 32-bit key, so a drained source never wins a match.
 const exhausted = ^uint64(0)
@@ -55,6 +66,12 @@ func Merge(srcs []MergeSource, meter vtime.Meter, emit func([]record.Key) error)
 	k := len(srcs)
 	if k == 0 {
 		return nil
+	}
+	// Kernel statistics, flushed once per Merge to the optional
+	// observer (no per-chunk interface calls on the hot path).
+	var oKeys, oChunks, oFast, oComps int64
+	if obs, ok := meter.(MergeObserver); ok {
+		defer func() { obs.ObserveMerge(oKeys, oChunks, oFast, oComps) }()
 	}
 
 	// k2 leaves, the smallest power of two ≥ k; padding leaves are
@@ -111,6 +128,7 @@ func Merge(srcs []MergeSource, meter vtime.Meter, emit func([]record.Key) error)
 	}
 	tree[0] = winner[1]
 	meter.ChargeCompute(int64(k2))
+	oComps += int64(k2 - 1) // one match per internal node to build
 
 	// Compute charges are batched in pending and flushed before every
 	// Fill call and on return: the virtual clock is only observed at
@@ -157,6 +175,12 @@ func Merge(srcs []MergeSource, meter vtime.Meter, emit func([]record.Key) error)
 		}
 		srcs[w].Discard(cnt)
 		pending += int64(cnt) + int64(2*levels) + 1
+		oKeys += int64(cnt)
+		oChunks++
+		if cnt > 1 {
+			oFast++ // block-copy fast path: a multi-key chunk per replay
+		}
+		oComps += int64(2 * levels) // runner-up scan + path replay
 		pos[w] += cnt
 		if pos[w] == len(bases[w]) {
 			meter.ChargeCompute(pending)

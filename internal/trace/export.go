@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file exports a Log in two machine-readable formats: the Chrome
+// trace_event JSON that Perfetto and chrome://tracing load directly, and
+// a flat JSONL event stream for ad-hoc tooling (jq, spreadsheets).
+//
+// The Chrome mapping: the cluster is one process (pid 0), every node is
+// a thread (tid = node id) so each gets its own track; phase spans
+// become complete ("X") slices, point events become thread-scoped
+// instants ("i"), and each redistribution message becomes a flow
+// arrow — an "s" (flow start) at the sender paired with an "f" (flow
+// end) at the receiver.  Virtual seconds are scaled to the format's
+// microseconds.
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usecPerVirtualSec = 1e6
+
+// flowKey identifies one directed link and tag; the cluster's per-link
+// FIFO delivery means the i-th send on a key pairs with its i-th recv.
+type flowKey struct {
+	from, to int
+	tag      string
+}
+
+// WriteChromeTrace writes the log as Chrome trace_event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.  One track per
+// node, phase spans as slices (open spans are flagged in args), point
+// events as instants, and message send/receive pairs as flow arrows.
+func WriteChromeTrace(w io.Writer, l *Log) error {
+	events := l.Events()
+	seen := map[int]bool{}
+	var nodes []int
+	for _, e := range events {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			nodes = append(nodes, e.Node)
+		}
+	}
+	sort.Ints(nodes)
+	out := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "hetsort virtual cluster"},
+	}}
+	for _, n := range nodes {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+
+	for _, s := range l.Spans() {
+		ev := chromeEvent{
+			Name: s.Label, Cat: "phase", Ph: "X",
+			Ts: s.Begin * usecPerVirtualSec, Dur: s.Duration() * usecPerVirtualSec,
+			Pid: 0, Tid: s.Node,
+		}
+		if s.Open {
+			ev.Args = map[string]any{"open": true}
+		}
+		out = append(out, ev)
+	}
+
+	// Flow arrows: per (from, to, tag) the i-th MessageSent pairs with
+	// the i-th MessageReceived (links deliver in FIFO order).  Sends
+	// whose receive never happened (a crashed peer) get no arrow — the
+	// format requires every flow id to have both ends.
+	type pending struct {
+		ts   float64
+		keys int
+	}
+	sends := map[flowKey][]pending{}
+	flowID := 0
+	for _, e := range events {
+		switch e.Kind {
+		case MessageSent:
+			var to, keys int
+			if _, err := fmt.Sscanf(e.Detail, "to:%d keys:%d", &to, &keys); err != nil {
+				continue
+			}
+			k := flowKey{e.Node, to, e.Label}
+			sends[k] = append(sends[k], pending{e.Clock, keys})
+		case MessageReceived:
+			var from, keys int
+			if _, err := fmt.Sscanf(e.Detail, "from:%d keys:%d", &from, &keys); err != nil {
+				continue
+			}
+			k := flowKey{from, e.Node, e.Label}
+			if len(sends[k]) == 0 {
+				continue
+			}
+			snd := sends[k][0]
+			sends[k] = sends[k][1:]
+			flowID++
+			id := fmt.Sprintf("msg%d", flowID)
+			name := fmt.Sprintf("%s %d->%d", e.Label, from, e.Node)
+			args := map[string]any{"keys": keys}
+			out = append(out,
+				chromeEvent{Name: name, Cat: "message", Ph: "s",
+					Ts: snd.ts * usecPerVirtualSec, Pid: 0, Tid: from, ID: id, Args: args},
+				chromeEvent{Name: name, Cat: "message", Ph: "f", BP: "e",
+					Ts: e.Clock * usecPerVirtualSec, Pid: 0, Tid: e.Node, ID: id, Args: args})
+		case Mark, Checkpoint, Recovery, Pipeline:
+			args := map[string]any{}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s: %s", e.Kind, e.Label), Cat: e.Kind.String(), Ph: "i",
+				Ts: e.Clock * usecPerVirtualSec, Pid: 0, Tid: e.Node, Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// jsonlEvent is the flat per-event schema of WriteJSONL.
+type jsonlEvent struct {
+	Seq    int64   `json:"seq"`
+	Node   int     `json:"node"`
+	Clock  float64 `json:"clock"`
+	Kind   string  `json:"kind"`
+	Label  string  `json:"label"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// WriteJSONL writes the log as one JSON object per line in event order.
+func WriteJSONL(w io.Writer, l *Log) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for _, e := range l.Events() {
+		if err := enc.Encode(jsonlEvent{
+			Seq: e.Seq, Node: e.Node, Clock: e.Clock,
+			Kind: e.Kind.String(), Label: e.Label, Detail: e.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateChromeTrace checks that data is structurally valid Chrome
+// trace_event JSON as produced by WriteChromeTrace: a non-empty
+// traceEvents array whose entries carry a name, a known phase type and
+// pid/tid, where complete slices have non-negative timestamps and
+// durations and every flow arrow has both of its ends.
+func ValidateChromeTrace(data []byte) error {
+	var t struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents array")
+	}
+	flows := map[string]int{} // id -> starts minus ends seen
+	for i, ev := range t.TraceEvents {
+		var name, ph string
+		if err := need(ev, "name", &name); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := need(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		var pid, tid float64
+		if err := need(ev, "pid", &pid); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := need(ev, "tid", &tid); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		switch ph {
+		case "M":
+		case "X":
+			var ts, dur float64
+			if err := need(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+			if raw, ok := ev["dur"]; ok {
+				if err := json.Unmarshal(raw, &dur); err != nil {
+					return fmt.Errorf("trace: event %d (%s): bad dur: %w", i, name, err)
+				}
+			}
+			if ts < 0 || dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative ts=%v dur=%v", i, name, ts, dur)
+			}
+		case "i", "s", "f":
+			var ts float64
+			if err := need(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+			if ph != "i" {
+				var id string
+				if err := need(ev, "id", &id); err != nil {
+					return fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+				}
+				if ph == "s" {
+					flows[id]++
+				} else {
+					flows[id]--
+				}
+			}
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase type %q", i, name, ph)
+		}
+	}
+	for id, n := range flows {
+		if n != 0 {
+			return fmt.Errorf("trace: flow %q has unmatched ends (balance %+d)", id, n)
+		}
+	}
+	return nil
+}
+
+// need unmarshals a required field of a raw trace event into dst.
+func need(ev map[string]json.RawMessage, field string, dst any) error {
+	raw, ok := ev[field]
+	if !ok {
+		return fmt.Errorf("missing %q", field)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("bad %q: %w", field, err)
+	}
+	return nil
+}

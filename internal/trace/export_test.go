@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fixtureLog builds a small deterministic two-node log: a closed phase
+// on each node, one message between them, an instant, and an unclosed
+// phase on node 1.
+func fixtureLog() *Log {
+	var l Log
+	l.Add(Event{Node: 0, Clock: 0, Kind: PhaseBegin, Label: "1:sequential-sort"})
+	l.Add(Event{Node: 1, Clock: 0, Kind: PhaseBegin, Label: "1:sequential-sort"})
+	l.Add(Event{Node: 0, Clock: 1.5, Kind: PhaseEnd, Label: "1:sequential-sort"})
+	l.Add(Event{Node: 1, Clock: 2.0, Kind: PhaseEnd, Label: "1:sequential-sort"})
+	l.Add(Event{Node: 0, Clock: 2.25, Kind: MessageSent, Label: "tag202", Detail: "to:1 keys:64"})
+	l.Add(Event{Node: 0, Clock: 2.5, Kind: Checkpoint, Label: "phase-1", Detail: "phase:1 clock:2.500000 files:1"})
+	l.Add(Event{Node: 1, Clock: 2.75, Kind: MessageReceived, Label: "tag202", Detail: "from:0 keys:64"})
+	l.Add(Event{Node: 1, Clock: 3.0, Kind: PhaseBegin, Label: "2:pivot-selection"})
+	return &l
+}
+
+const goldenChrome = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "hetsort virtual cluster"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "name": "node 0"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "name": "node 1"
+   }
+  },
+  {
+   "name": "1:sequential-sort",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 0,
+   "dur": 1500000,
+   "pid": 0,
+   "tid": 0
+  },
+  {
+   "name": "1:sequential-sort",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 0,
+   "dur": 2000000,
+   "pid": 0,
+   "tid": 1
+  },
+  {
+   "name": "2:pivot-selection",
+   "cat": "phase",
+   "ph": "X",
+   "ts": 3000000,
+   "pid": 0,
+   "tid": 1,
+   "args": {
+    "open": true
+   }
+  },
+  {
+   "name": "checkpoint: phase-1",
+   "cat": "checkpoint",
+   "ph": "i",
+   "ts": 2500000,
+   "pid": 0,
+   "tid": 0,
+   "args": {
+    "detail": "phase:1 clock:2.500000 files:1"
+   }
+  },
+  {
+   "name": "tag202 0->1",
+   "cat": "message",
+   "ph": "s",
+   "ts": 2250000,
+   "pid": 0,
+   "tid": 0,
+   "id": "msg1",
+   "args": {
+    "keys": 64
+   }
+  },
+  {
+   "name": "tag202 0->1",
+   "cat": "message",
+   "ph": "f",
+   "ts": 2750000,
+   "pid": 0,
+   "tid": 1,
+   "id": "msg1",
+   "bp": "e",
+   "args": {
+    "keys": 64
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureLog()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenChrome {
+		t.Errorf("chrome trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenChrome)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("golden output fails its own validator: %v", err)
+	}
+}
+
+const goldenJSONL = `{"seq":1,"node":0,"clock":0,"kind":"phase-begin","label":"1:sequential-sort"}
+{"seq":2,"node":1,"clock":0,"kind":"phase-begin","label":"1:sequential-sort"}
+{"seq":3,"node":0,"clock":1.5,"kind":"phase-end","label":"1:sequential-sort"}
+{"seq":4,"node":1,"clock":2,"kind":"phase-end","label":"1:sequential-sort"}
+{"seq":5,"node":0,"clock":2.25,"kind":"send","label":"tag202","detail":"to:1 keys:64"}
+{"seq":6,"node":0,"clock":2.5,"kind":"checkpoint","label":"phase-1","detail":"phase:1 clock:2.500000 files:1"}
+{"seq":7,"node":1,"clock":2.75,"kind":"recv","label":"tag202","detail":"from:0 keys:64"}
+{"seq":8,"node":1,"clock":3,"kind":"phase-begin","label":"2:pivot-selection"}
+`
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureLog()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenJSONL {
+		t.Errorf("jsonl mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenJSONL)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{"traceEvents": [`,
+		"empty":          `{"traceEvents": []}`,
+		"missing name":   `{"traceEvents": [{"ph":"M","pid":0,"tid":0}]}`,
+		"missing ph":     `{"traceEvents": [{"name":"x","pid":0,"tid":0}]}`,
+		"unknown ph":     `{"traceEvents": [{"name":"x","ph":"Q","pid":0,"tid":0}]}`,
+		"negative dur":   `{"traceEvents": [{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":-2}]}`,
+		"missing ts":     `{"traceEvents": [{"name":"x","ph":"X","pid":0,"tid":0}]}`,
+		"unmatched flow": `{"traceEvents": [{"name":"x","ph":"s","pid":0,"tid":0,"ts":1,"id":"m1"}]}`,
+		"flow sans id":   `{"traceEvents": [{"name":"x","ph":"f","pid":0,"tid":0,"ts":1}]}`,
+	}
+	for label, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	ok := `{"traceEvents": [{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":2}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("minimal valid trace rejected: %v", err)
+	}
+}
+
+func TestFlowPairingIsFIFOPerLink(t *testing.T) {
+	var l Log
+	// Two messages on the same (from, to, tag): FIFO pairing must give
+	// the first recv the first send's timestamp.
+	l.Add(Event{Node: 0, Clock: 1, Kind: MessageSent, Label: "tag9", Detail: "to:1 keys:10"})
+	l.Add(Event{Node: 0, Clock: 2, Kind: MessageSent, Label: "tag9", Detail: "to:1 keys:20"})
+	l.Add(Event{Node: 1, Clock: 3, Kind: MessageReceived, Label: "tag9", Detail: "from:0 keys:10"})
+	l.Add(Event{Node: 1, Clock: 4, Kind: MessageReceived, Label: "tag9", Detail: "from:0 keys:20"})
+	// A send whose receiver died: no arrow, but the trace stays valid.
+	l.Add(Event{Node: 0, Clock: 5, Kind: MessageSent, Label: "tag9", Detail: "to:1 keys:30"})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, &l); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("trace with an orphan send invalid: %v", err)
+	}
+	out := buf.String()
+	if strings.Count(out, `"ph": "s"`) != 2 || strings.Count(out, `"ph": "f"`) != 2 {
+		t.Fatalf("expected two complete flows:\n%s", out)
+	}
+	if !strings.Contains(out, `"ts": 1000000,`) || !strings.Contains(out, `"ts": 2000000,`) {
+		t.Fatalf("flow starts not at send timestamps:\n%s", out)
+	}
+}

@@ -70,18 +70,26 @@ type Event struct {
 	Kind   Kind
 	Label  string // phase name or annotation
 	Detail string
+	// Seq is a monotonic sequence number assigned by Log.Add, the final
+	// ordering tiebreaker: virtual clocks carry no sub-event resolution,
+	// so same-clock same-node events (a send and the phase-end right
+	// after it) would otherwise shuffle under a non-stable sort.
+	Seq int64
 }
 
 // Log collects events from concurrently running nodes.  The zero value
 // is ready to use.
 type Log struct {
 	mu     sync.Mutex
+	seq    int64
 	events []Event
 }
 
-// Add records an event.
+// Add records an event, stamping it with the next sequence number.
 func (l *Log) Add(e Event) {
 	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
 	l.events = append(l.events, e)
 	l.mu.Unlock()
 }
@@ -93,7 +101,7 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
-// Events returns a copy of the events sorted by (clock, node).
+// Events returns a copy of the events sorted by (clock, node, seq).
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	out := append([]Event(nil), l.events...)
@@ -102,30 +110,39 @@ func (l *Log) Events() []Event {
 		if out[i].Clock != out[j].Clock {
 			return out[i].Clock < out[j].Clock
 		}
-		return out[i].Node < out[j].Node
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
 	})
 	return out
 }
 
-// Reset clears the log.
+// Reset clears the log and restarts the sequence numbering.
 func (l *Log) Reset() {
 	l.mu.Lock()
 	l.events = l.events[:0]
+	l.seq = 0
 	l.mu.Unlock()
 }
 
-// PhaseSpan is a completed phase on one node.
+// PhaseSpan is a phase on one node.  Open spans are phases whose
+// PhaseEnd was never recorded (the node crashed or the run was cut
+// short); their End is the clock of the last event in the log.
 type PhaseSpan struct {
 	Node       int
 	Label      string
 	Begin, End float64
+	Open       bool
 }
 
 // Duration returns the span length.
 func (s PhaseSpan) Duration() float64 { return s.End - s.Begin }
 
 // Spans pairs PhaseBegin/PhaseEnd events per node and label, in begin
-// order.  Unclosed phases are dropped.
+// order.  A phase with no matching end — a crashed node's last phase —
+// is emitted as an open span ending at the log's final event clock,
+// rather than silently dropped.
 func (l *Log) Spans() []PhaseSpan {
 	type key struct {
 		node  int
@@ -133,7 +150,11 @@ func (l *Log) Spans() []PhaseSpan {
 	}
 	open := map[key]float64{}
 	var spans []PhaseSpan
+	var last float64
 	for _, e := range l.Events() {
+		if e.Clock > last {
+			last = e.Clock
+		}
 		k := key{e.Node, e.Label}
 		switch e.Kind {
 		case PhaseBegin:
@@ -145,16 +166,27 @@ func (l *Log) Spans() []PhaseSpan {
 			}
 		}
 	}
+	for k, b := range open {
+		end := last
+		if end < b {
+			end = b
+		}
+		spans = append(spans, PhaseSpan{Node: k.node, Label: k.label, Begin: b, End: end, Open: true})
+	}
 	sort.SliceStable(spans, func(i, j int) bool {
 		if spans[i].Begin != spans[j].Begin {
 			return spans[i].Begin < spans[j].Begin
 		}
-		return spans[i].Node < spans[j].Node
+		if spans[i].Node != spans[j].Node {
+			return spans[i].Node < spans[j].Node
+		}
+		return spans[i].Label < spans[j].Label
 	})
 	return spans
 }
 
-// Timeline renders the event log as one line per event.
+// Timeline renders the event log as one line per event, with a trailing
+// line per phase that never closed (a crashed node's final phase).
 func (l *Log) Timeline() string {
 	var b strings.Builder
 	for _, e := range l.Events() {
@@ -163,6 +195,11 @@ func (l *Log) Timeline() string {
 			fmt.Fprintf(&b, " (%s)", e.Detail)
 		}
 		b.WriteByte('\n')
+	}
+	for _, s := range l.Spans() {
+		if s.Open {
+			fmt.Fprintf(&b, "%12.6fs  node%-2d  %-11s %s (unclosed)\n", s.End, s.Node, "phase-open", s.Label)
+		}
 	}
 	return b.String()
 }
@@ -194,17 +231,31 @@ func (l *Log) Gantt(width int) string {
 		}
 	}
 	for _, s := range spans {
-		begin := int(s.Begin / max * float64(width))
-		end := int(s.End / max * float64(width))
+		// Half-up rounding keeps adjacent spans visually contiguous (a
+		// truncating cast left one-column gaps); the clamps guarantee
+		// 0 <= begin < end <= width for every span, including ones that
+		// round to the right edge.
+		begin := int(s.Begin/max*float64(width) + 0.5)
+		end := int(s.End/max*float64(width) + 0.5)
+		if begin >= width {
+			begin = width - 1
+		}
+		if end > width {
+			end = width
+		}
 		if end <= begin {
 			end = begin + 1
 		}
-		fmt.Fprintf(&b, "node%-2d %-*s |%s%s%s| %8.3fs\n",
+		fill, note := "=", ""
+		if s.Open {
+			fill, note = "-", " (open)"
+		}
+		fmt.Fprintf(&b, "node%-2d %-*s |%s%s%s| %8.3fs%s\n",
 			s.Node, labelW, s.Label,
 			strings.Repeat(" ", begin),
-			strings.Repeat("=", end-begin),
+			strings.Repeat(fill, end-begin),
 			strings.Repeat(" ", width-end),
-			s.Duration())
+			s.Duration(), note)
 	}
 	return b.String()
 }

@@ -59,12 +59,76 @@ func TestSpans(t *testing.T) {
 	l.Add(Event{Node: 0, Clock: 5, Kind: PhaseEnd, Label: "sort"})
 	l.Add(Event{Node: 1, Clock: 7, Kind: PhaseEnd, Label: "sort"})
 	l.Add(Event{Node: 0, Clock: 9, Kind: PhaseBegin, Label: "dangling"})
+	l.Add(Event{Node: 1, Clock: 11, Kind: Mark, Label: "last"})
 	spans := l.Spans()
-	if len(spans) != 2 {
+	if len(spans) != 3 {
 		t.Fatalf("spans %v", spans)
 	}
 	if spans[0].Duration() != 4 || spans[1].Duration() != 5 {
 		t.Fatalf("durations %v", spans)
+	}
+	if spans[0].Open || spans[1].Open {
+		t.Fatalf("closed spans flagged open: %v", spans)
+	}
+	// The unclosed phase is emitted as an open span ending at the log's
+	// last event clock, not dropped.
+	d := spans[2]
+	if !d.Open || d.Label != "dangling" || d.Begin != 9 || d.End != 11 {
+		t.Fatalf("dangling span %+v", d)
+	}
+}
+
+func TestOpenSpanFlaggedInRenderers(t *testing.T) {
+	var l Log
+	l.Add(Event{Node: 0, Clock: 0, Kind: PhaseBegin, Label: "done"})
+	l.Add(Event{Node: 0, Clock: 4, Kind: PhaseEnd, Label: "done"})
+	l.Add(Event{Node: 1, Clock: 2, Kind: PhaseBegin, Label: "crashed"})
+	if out := l.Timeline(); !strings.Contains(out, "phase-open") || !strings.Contains(out, "crashed") {
+		t.Errorf("timeline does not flag the open phase:\n%s", out)
+	}
+	if out := l.Gantt(40); !strings.Contains(out, "(open)") || !strings.Contains(out, "-") {
+		t.Errorf("gantt does not flag the open phase:\n%s", out)
+	}
+}
+
+func TestEventSeqTiebreak(t *testing.T) {
+	var l Log
+	// Same clock, same node: insertion order must be preserved by Seq.
+	l.Add(Event{Node: 0, Clock: 1, Kind: Mark, Label: "first"})
+	l.Add(Event{Node: 0, Clock: 1, Kind: Mark, Label: "second"})
+	l.Add(Event{Node: 0, Clock: 1, Kind: Mark, Label: "third"})
+	ev := l.Events()
+	if ev[0].Label != "first" || ev[1].Label != "second" || ev[2].Label != "third" {
+		t.Fatalf("order %v", ev)
+	}
+	if !(ev[0].Seq < ev[1].Seq && ev[1].Seq < ev[2].Seq) {
+		t.Fatalf("seqs not monotonic: %v", ev)
+	}
+	l.Reset()
+	l.Add(Event{Node: 0, Clock: 0, Kind: Mark})
+	if l.Events()[0].Seq != 1 {
+		t.Fatalf("reset did not restart numbering: %v", l.Events())
+	}
+}
+
+func TestGanttRoundingBounds(t *testing.T) {
+	var l Log
+	// A span ending exactly at max must not overflow the chart width,
+	// and a tiny span near the right edge must still get >= 1 column.
+	l.Add(Event{Node: 0, Clock: 0, Kind: PhaseBegin, Label: "big"})
+	l.Add(Event{Node: 0, Clock: 99.9, Kind: PhaseEnd, Label: "big"})
+	l.Add(Event{Node: 1, Clock: 99.9, Kind: PhaseBegin, Label: "tiny"})
+	l.Add(Event{Node: 1, Clock: 100, Kind: PhaseEnd, Label: "tiny"})
+	width := 40
+	out := l.Gantt(width)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		open, close := strings.IndexByte(line, '|'), strings.LastIndexByte(line, '|')
+		if close-open-1 != width {
+			t.Fatalf("chart row is %d columns, want %d:\n%s", close-open-1, width, out)
+		}
+		if !strings.Contains(line, "=") {
+			t.Fatalf("span rendered with no bar:\n%s", out)
+		}
 	}
 }
 

@@ -10,6 +10,8 @@
 // differently but the initial loads stay constant during the experiment".
 package vtime
 
+import "fmt"
+
 // Meter receives work charges.  Implementations decide how charges map
 // to time (the cluster node multiplies by its cost model and slowdown).
 type Meter interface {
@@ -20,6 +22,124 @@ type Meter interface {
 	ChargeIOBlocks(n int64)
 	// ChargeSeek charges n random disk repositionings.
 	ChargeSeek(n int64)
+}
+
+// Category classifies where a slice of virtual time went.  Every clock
+// advance of a simulated node is attributed to exactly one category, so
+// the per-category totals sum to the node's clock (the invariant
+// CheckAttribution verifies).
+type Category int
+
+const (
+	// Compute is processor work: comparisons, moves, tree adjustments.
+	Compute Category = iota
+	// Disk is block transfers and seeks on the node's private disk.
+	Disk
+	// Network is messaging occupancy and protocol processing.
+	Network
+	// Idle is time spent waiting: blocking on a peer's message,
+	// retry-backoff delays, and replayed clock time on a resumed run.
+	Idle
+
+	// NumCategories counts the attribution categories.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Disk:
+		return "disk"
+	case Network:
+		return "network"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// TimeMeter extends Meter for implementations that also account raw
+// categorized time — the network and idle-wait slices that do not come
+// from work-unit charges.  cluster.Node implements it.
+type TimeMeter interface {
+	Meter
+	// ChargeTime advances the clock by sec unscaled virtual seconds
+	// attributed to cat.
+	ChargeTime(cat Category, sec float64)
+}
+
+// Breakdown splits a span of virtual time over the categories.
+type Breakdown struct {
+	Compute float64 `json:"compute"`
+	Disk    float64 `json:"disk"`
+	Network float64 `json:"network"`
+	Idle    float64 `json:"idle"`
+}
+
+// Charge adds sec seconds to the category.
+func (b *Breakdown) Charge(cat Category, sec float64) {
+	switch cat {
+	case Compute:
+		b.Compute += sec
+	case Disk:
+		b.Disk += sec
+	case Network:
+		b.Network += sec
+	default:
+		b.Idle += sec
+	}
+}
+
+// Total returns the sum of the four categories.
+func (b Breakdown) Total() float64 { return b.Compute + b.Disk + b.Network + b.Idle }
+
+// Add returns the element-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Compute: b.Compute + o.Compute,
+		Disk:    b.Disk + o.Disk,
+		Network: b.Network + o.Network,
+		Idle:    b.Idle + o.Idle,
+	}
+}
+
+// Sub returns the element-wise difference b-o; useful to attribute one
+// algorithm step with a shared accumulator.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	return Breakdown{
+		Compute: b.Compute - o.Compute,
+		Disk:    b.Disk - o.Disk,
+		Network: b.Network - o.Network,
+		Idle:    b.Idle - o.Idle,
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("Breakdown{compute=%.6f disk=%.6f network=%.6f idle=%.6f}",
+		b.Compute, b.Disk, b.Network, b.Idle)
+}
+
+// AttributionTolerance bounds the float drift the invariant check
+// accepts between a clock and its attribution: the clock and the four
+// category accumulators add the same charges in different groupings, so
+// they may disagree by a few ulps after millions of additions.
+const AttributionTolerance = 1e-9
+
+// CheckAttribution verifies the attribution invariant: the breakdown's
+// categories must sum to the clock within AttributionTolerance
+// (relative, with an absolute floor of one tolerance for tiny clocks).
+func CheckAttribution(clock float64, b Breakdown) error {
+	tol := AttributionTolerance
+	if clock > 1 {
+		tol *= clock
+	}
+	if diff := b.Total() - clock; diff > tol || diff < -tol {
+		return fmt.Errorf("vtime: attribution %v sums to %.12f but clock is %.12f (diff %g, tol %g)",
+			b, b.Total(), clock, diff, tol)
+	}
+	return nil
 }
 
 // Nop discards all charges.  Useful in tests and for callers that only
@@ -34,6 +154,9 @@ func (Nop) ChargeIOBlocks(int64) {}
 
 // ChargeSeek implements Meter.
 func (Nop) ChargeSeek(int64) {}
+
+// ChargeTime implements TimeMeter.
+func (Nop) ChargeTime(Category, float64) {}
 
 // CostModel converts work units into virtual seconds.  The defaults are
 // calibrated (see DefaultCostModel) so that a speed-1 node external-sorts

@@ -48,3 +48,52 @@ func TestMeterInterfaceContract(t *testing.T) {
 		t.Fatalf("capture %+v", c)
 	}
 }
+
+func TestBreakdownArithmetic(t *testing.T) {
+	var b Breakdown
+	b.Charge(Compute, 1)
+	b.Charge(Disk, 2)
+	b.Charge(Network, 3)
+	b.Charge(Idle, 4)
+	if b.Total() != 10 {
+		t.Fatalf("total = %v, want 10", b.Total())
+	}
+	sum := b.Add(b)
+	if sum.Total() != 20 || sum.Disk != 4 {
+		t.Fatalf("add = %+v", sum)
+	}
+	if d := sum.Sub(b); d != b {
+		t.Fatalf("sub = %+v, want %+v", d, b)
+	}
+	// Unknown categories fall into idle so no time is ever dropped.
+	b.Charge(Category(99), 5)
+	if b.Idle != 9 {
+		t.Fatalf("idle = %v, want 9", b.Idle)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{Compute: "compute", Disk: "disk", Network: "network", Idle: "idle"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("Category(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestCheckAttribution(t *testing.T) {
+	b := Breakdown{Compute: 1, Disk: 2, Network: 3, Idle: 4}
+	if err := CheckAttribution(10, b); err != nil {
+		t.Fatalf("exact attribution rejected: %v", err)
+	}
+	// Within tolerance of a large clock.
+	if err := CheckAttribution(10+5e-9, b); err != nil {
+		t.Fatalf("tolerable drift rejected: %v", err)
+	}
+	if err := CheckAttribution(11, b); err == nil {
+		t.Fatal("a missing second passed the invariant check")
+	}
+	if err := CheckAttribution(0, Breakdown{Idle: 1e-6}); err == nil {
+		t.Fatal("unattributed time on a zero clock passed")
+	}
+}

@@ -4,11 +4,37 @@ import (
 	"fmt"
 	"strings"
 
+	"hetsort/internal/cluster"
 	"hetsort/internal/extsort"
 	"hetsort/internal/perf"
 	"hetsort/internal/sampling"
 	"hetsort/internal/trace"
+	"hetsort/internal/vtime"
 )
+
+// TimeBreakdown splits a node's virtual clock into the four activity
+// categories the simulator attributes every clock advance to.  The
+// categories sum to the node's clock.
+type TimeBreakdown struct {
+	// Compute is time spent in local computation (sorting, merging,
+	// partitioning comparisons).
+	Compute float64 `json:"compute"`
+	// Disk is time spent in block transfers and seeks.
+	Disk float64 `json:"disk"`
+	// Network is time spent occupying links: send occupancy plus the
+	// receiver's share of message latency.
+	Network float64 `json:"network"`
+	// Idle is time spent waiting — blocked receives, barrier waits,
+	// retry backoff, and a resumed run's replayed clock.
+	Idle float64 `json:"idle"`
+}
+
+// Total returns the sum of the categories (the clock span covered).
+func (t TimeBreakdown) Total() float64 { return t.Compute + t.Disk + t.Network + t.Idle }
+
+func toBreakdown(b vtime.Breakdown) TimeBreakdown {
+	return TimeBreakdown{Compute: b.Compute, Disk: b.Disk, Network: b.Network, Idle: b.Idle}
+}
 
 // Report describes one sort run: virtual time, per-step breakdown,
 // final load balance, and I/O counts — the quantities the paper's
@@ -36,10 +62,24 @@ type Report struct {
 	NodeClocks []float64
 	// Perf echoes the vector the run used.
 	Perf []int
+	// NodeBreakdown attributes each node's clock to compute, disk,
+	// network and idle-wait time.
+	NodeBreakdown []TimeBreakdown
+	// StepBreakdown attributes each node's time within each of the five
+	// steps (barrier to barrier; empty per-node entries for algorithms
+	// without a step structure).
+	StepBreakdown [5][]TimeBreakdown
+	// NodeMetrics is each node's metrics-registry snapshot: link
+	// traffic, merge-kernel counters, queue depths, checkpoint commit
+	// latencies (see internal/metrics).
+	NodeMetrics []map[string]float64
 	// Timeline and Gantt hold the rendered virtual-time trace when
 	// Config.Trace was set.
 	Timeline string
 	Gantt    string
+	// TraceLog is the raw event log when Config.Trace was set; export
+	// it with trace.WriteChromeTrace or trace.WriteJSONL.
+	TraceLog *trace.Log `json:"-"`
 }
 
 // attachTrace renders tl into the report (no-op for nil).
@@ -47,8 +87,17 @@ func (r *Report) attachTrace(tl *trace.Log) {
 	if tl == nil {
 		return
 	}
+	r.TraceLog = tl
 	r.Timeline = tl.Timeline()
 	r.Gantt = tl.Gantt(60)
+}
+
+// attachMetrics snapshots every node's metrics registry into the report.
+func (r *Report) attachMetrics(c *cluster.Cluster) {
+	r.NodeMetrics = make([]map[string]float64, c.P())
+	for i := 0; i < c.P(); i++ {
+		r.NodeMetrics[i] = c.Node(i).Metrics().Snapshot()
+	}
 }
 
 func newReport(res *extsort.Result, v perf.Vector) *Report {
@@ -67,6 +116,21 @@ func newReport(res *extsort.Result, v perf.Vector) *Report {
 		r.ReadBlocks += io.Reads
 		r.WriteBlocks += io.Writes
 	}
+	if len(res.NodeAttr) > 0 {
+		r.NodeBreakdown = make([]TimeBreakdown, len(res.NodeAttr))
+		for i, b := range res.NodeAttr {
+			r.NodeBreakdown[i] = toBreakdown(b)
+		}
+	}
+	for s := range res.StepAttr {
+		if len(res.StepAttr[s]) == 0 {
+			continue
+		}
+		r.StepBreakdown[s] = make([]TimeBreakdown, len(res.StepAttr[s]))
+		for i, b := range res.StepAttr[s] {
+			r.StepBreakdown[s][i] = toBreakdown(b)
+		}
+	}
 	return r
 }
 
@@ -80,5 +144,13 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  partitions: %v\n", r.PartitionSizes)
 	fmt.Fprintf(&b, "  block I/O: %d reads, %d writes\n", r.ReadBlocks, r.WriteBlocks)
+	if len(r.NodeBreakdown) > 0 {
+		fmt.Fprintf(&b, "  where the time went (per node, virtual s):\n")
+		fmt.Fprintf(&b, "    %-6s %10s %10s %10s %10s %10s\n", "node", "compute", "disk", "network", "idle", "clock")
+		for i, t := range r.NodeBreakdown {
+			fmt.Fprintf(&b, "    %-6d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				i, t.Compute, t.Disk, t.Network, t.Idle, t.Total())
+		}
+	}
 	return b.String()
 }
