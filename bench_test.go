@@ -515,6 +515,52 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationOverlap is A9: overlapped disk I/O (prefetch +
+// write-behind) vs the synchronous path, run separately per variant so
+// ns/op and allocs/op are directly comparable; vsec and blockIOs come
+// from the simulator's accounting and blockIOs must match exactly
+// across the two variants.
+func BenchmarkAblationOverlap(b *testing.B) {
+	v := experiments.PaperVector
+	n := v.NearestValidSize(1 << 16)
+	for _, variant := range []struct {
+		name    string
+		overlap bool
+	}{{"synchronous", false}, {"overlapped", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var vsec float64
+			var io int64
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Config{Slowdowns: v.Slowdowns(), BlockKeys: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := extsort.Config{Perf: v, BlockKeys: 64, MemoryKeys: 16384,
+					Tapes: 6, MessageKeys: 512, Overlap: variant.overlap}
+				sum, err := extsort.DistributeInput(c, v, record.Uniform, n, 1, 64, "in")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := extsort.Sort(c, cfg, "in", "out")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := extsort.VerifyOutput(c, "out", 64, sum); err != nil {
+					b.Fatal(err)
+				}
+				vsec = res.Time
+				io = 0
+				for _, s := range res.NodeIO {
+					io += s.Total()
+				}
+			}
+			b.ReportMetric(vsec, "vsec")
+			b.ReportMetric(float64(io), "blockIOs")
+		})
+	}
+}
+
 // BenchmarkDistributionSweep is E10: external PSRS across the eight
 // benchmark input distributions (the paper's input-invariance claim).
 func BenchmarkDistributionSweep(b *testing.B) {

@@ -10,11 +10,13 @@
 //	benchtab -experiment pipeline -cpuprofile cpu.pprof
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
-// figure1, distributions, ablations, checkpoint, pipeline, attribution,
-// all.
+// figure1, distributions, ablations, checkpoint, pipeline, overlap,
+// attribution, all.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
-// BENCH_pipeline.json, and the attribution experiment — where each
+// BENCH_pipeline.json, the overlap experiment (ablation A9: prefetch +
+// write-behind against the synchronous I/O path) writes
+// BENCH_overlap.json, and the attribution experiment — where each
 // node's virtual time went (compute/disk/network/idle) and the per-step
 // skew against the perf-vector prediction — writes
 // BENCH_attribution.json.  -cpuprofile/-memprofile write pprof profiles of
@@ -41,7 +43,7 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, attribution, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, all")
 		seed    = flag.Int64("seed", 1, "base input seed")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -184,6 +186,22 @@ func main() {
 			return err
 		}
 		fmt.Println("wrote BENCH_pipeline.json")
+		return nil
+	})
+	run("overlap", func() error {
+		rows, err := experiments.OverlapAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.AblationsString(rows))
+		if err := writeJSON("BENCH_overlap.json", struct {
+			Experiment string                    `json:"experiment"`
+			SizeShift  uint                      `json:"size_shift"`
+			Rows       []experiments.AblationRow `json:"rows"`
+		}{"overlap", *shift, rows}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_overlap.json")
 		return nil
 	})
 	run("attribution", func() error {

@@ -41,6 +41,7 @@ func main() {
 		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered)")
 		seed     = flag.Int64("seed", 1, "seed for -gen")
 		pipeline = flag.Bool("pipeline", false, "fuse steps 4+5: merge redistribution streams directly into the output")
+		overlap  = flag.Bool("overlap", false, "overlap disk I/O with compute: prefetch reads, write-behind writes (same I/O counts, lower virtual time)")
 		verbose  = flag.Bool("v", false, "print the full per-step report")
 		withGant = flag.Bool("trace", false, "print a virtual-time Gantt chart of the run")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run (load in Perfetto); implies tracing")
@@ -103,6 +104,7 @@ func main() {
 		WorkDir:     *workdir,
 		Trace:       *withGant || *traceOut != "" || *evtsOut != "",
 		Pipeline:    *pipeline,
+		Overlap:     *overlap,
 	}
 	if *ckptDir != "" {
 		cfg.WorkDir = *ckptDir

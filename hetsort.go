@@ -136,6 +136,13 @@ type Config struct {
 	// Checkpoint enabled the streams are still spilled to durable
 	// receive files for the phase-4 manifest.
 	Pipeline bool
+	// Overlap turns on asynchronous disk I/O: readers prefetch blocks
+	// ahead of the consumer and writers flush behind it, hiding disk
+	// transfer time behind concurrent compute (up to the node's disk
+	// parallelism per stream).  PDM I/O counts and output bytes are
+	// identical to the synchronous path; only virtual time changes.
+	// Only meaningful for AlgorithmExternalPSRS.
+	Overlap bool
 	// Checkpoint controls the fault-tolerance subsystem.
 	Checkpoint CheckpointConfig
 }
@@ -278,6 +285,7 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 		QuantileEps:  c.QuantileEps,
 		Seed:         c.Seed,
 		Pipeline:     c.Pipeline,
+		Overlap:      c.Overlap,
 	}, nil
 }
 

@@ -67,6 +67,51 @@ func TestSortHeterogeneous(t *testing.T) {
 	}
 }
 
+func TestSortOverlapReport(t *testing.T) {
+	keys := make([]Key, 20000)
+	for i := range keys {
+		keys[i] = Key(1664525*uint32(i) + 1013904223)
+	}
+	cfg := Config{MemoryKeys: 4096, BlockKeys: 128, Tapes: 5, MessageKeys: 512}
+	_, syncRep, err := Sort(keys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	sorted, rep, err := Sort(keys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted")
+	}
+	if rep.Time >= syncRep.Time {
+		t.Fatalf("overlapped %v virtual s not below synchronous %v", rep.Time, syncRep.Time)
+	}
+	if rep.ReadBlocks != syncRep.ReadBlocks || rep.WriteBlocks != syncRep.WriteBlocks {
+		t.Fatalf("overlap changed I/O counts: %d/%d vs %d/%d",
+			rep.ReadBlocks, rep.WriteBlocks, syncRep.ReadBlocks, syncRep.WriteBlocks)
+	}
+	var hidden float64
+	for _, b := range rep.NodeBreakdown {
+		hidden += b.Overlapped
+	}
+	if hidden <= 0 {
+		t.Fatal("no disk time hidden in the node breakdown")
+	}
+	for i, m := range rep.NodeMetrics {
+		if m["disk.prefetch.blocks"] <= 0 {
+			t.Errorf("node %d metrics missing prefetch counters: %v", i, m)
+		}
+		if m["disk.writebehind.blocks"] <= 0 {
+			t.Errorf("node %d metrics missing write-behind counters: %v", i, m)
+		}
+	}
+	if !strings.Contains(rep.String(), "overlapped") {
+		t.Fatal("report table lost the overlapped column")
+	}
+}
+
 func TestSortDoesNotMutateInput(t *testing.T) {
 	keys := []Key{5, 3, 1, 4, 2, 9, 8, 7, 6, 0}
 	orig := append([]Key(nil), keys...)

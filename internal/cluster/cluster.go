@@ -243,6 +243,9 @@ func (c *Cluster) ResetClocks() {
 	for _, n := range c.nodes {
 		n.clock = 0
 		n.attr = vtime.Breakdown{}
+		n.overlapCaps = nil
+		n.overlapCap = 0
+		n.overlapCredit = 0
 		n.counter.Reset()
 		n.metrics.Reset()
 	}
@@ -329,6 +332,17 @@ type Node struct {
 	mSentTo    []*metrics.Counter // keys sent per outgoing link
 	mQueueHist *metrics.Histogram // queue depth sampled after each send
 	mQueueLast *metrics.Gauge
+
+	// Overlap-window state (vtime.OverlapMeter): while windows are
+	// open, compute charges accrue credit (capped by the windows'
+	// combined in-flight capacity) and asynchronously issued disk blocks
+	// spend it — spent disk time hides behind the compute that already
+	// advanced the clock and lands in attr.Overlapped instead of
+	// attr.Disk.  overlapCaps stacks each open window's capacity in
+	// seconds so EndOverlap can retire exactly its own contribution.
+	overlapCaps   []float64
+	overlapCap    float64
+	overlapCredit float64
 
 	// Scheduled fault injection (see Cluster.ScheduleCrash).
 	crashArmed bool
@@ -422,9 +436,76 @@ func (n *Node) Acct() diskio.Accounting {
 	return diskio.Accounting{Counter: &n.counter, Meter: n}
 }
 
-// ChargeCompute implements vtime.Meter.
+// ChargeCompute implements vtime.Meter.  Inside an overlap window the
+// compute time also accrues overlap credit: the node's disks can
+// transfer while this computation runs, so disk blocks later charged
+// through ChargeOverlappedIOBlocks may hide behind it.
 func (n *Node) ChargeCompute(ops int64) {
-	n.ChargeTime(vtime.Compute, float64(ops)*n.cost.ComputeSec*n.slowdown)
+	sec := float64(ops) * n.cost.ComputeSec * n.slowdown
+	if len(n.overlapCaps) > 0 {
+		n.overlapCredit += sec
+		if n.overlapCredit > n.overlapCap {
+			n.overlapCredit = n.overlapCap
+		}
+	}
+	n.ChargeTime(vtime.Compute, sec)
+}
+
+// blockSec is the virtual transfer time of one block on this node's
+// drive array (the D disks transfer one block in 1/D of the single-disk
+// time, the PDM's parallel I/O step).
+func (n *Node) blockSec() float64 {
+	return float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown / float64(n.disks)
+}
+
+// BeginOverlap implements vtime.OverlapMeter: it opens an overlap window
+// whose device keeps up to depthBlocks transfers in flight (<= 0 means 2,
+// double-buffering).  The overlap layer in diskio opens one window per
+// prefetching reader or write-behind writer.
+func (n *Node) BeginOverlap(depthBlocks int) {
+	if depthBlocks <= 0 {
+		depthBlocks = 2
+	}
+	cap := float64(depthBlocks) * n.blockSec()
+	n.overlapCaps = append(n.overlapCaps, cap)
+	n.overlapCap += cap
+}
+
+// EndOverlap implements vtime.OverlapMeter, closing the innermost open
+// window.  Credit is clamped to the remaining windows' capacity and dies
+// entirely with the last window: compute can only hide transfers that
+// are actually in flight.
+func (n *Node) EndOverlap() {
+	if len(n.overlapCaps) == 0 {
+		return
+	}
+	last := len(n.overlapCaps) - 1
+	n.overlapCap -= n.overlapCaps[last]
+	n.overlapCaps = n.overlapCaps[:last]
+	if n.overlapCredit > n.overlapCap {
+		n.overlapCredit = n.overlapCap
+	}
+}
+
+// ChargeOverlappedIOBlocks implements vtime.OverlapMeter: the blocks
+// were transferred by the drive while the CPU worked, so their time is
+// hidden up to the accrued credit — max(0, disk − overlappable compute)
+// per window — and only the exposed remainder advances the clock as
+// Disk.  The hidden share is recorded in the Overlapped attribution
+// column (and the node metrics), never silently dropped.
+func (n *Node) ChargeOverlappedIOBlocks(blocks int64) {
+	sec := float64(blocks) * n.blockSec()
+	hidden := sec
+	if hidden > n.overlapCredit {
+		hidden = n.overlapCredit
+	}
+	n.overlapCredit -= hidden
+	n.attr.Overlapped += hidden
+	if exposed := sec - hidden; exposed > 0 {
+		n.ChargeTime(vtime.Disk, exposed)
+	} else {
+		n.crashIfDue()
+	}
 }
 
 // Disks returns the node's PDM D parameter.
@@ -433,7 +514,7 @@ func (n *Node) Disks() int { return n.disks }
 // ChargeIOBlocks implements vtime.Meter.  With D independent disks the
 // transfer time divides by D (the PDM's parallel I/O step).
 func (n *Node) ChargeIOBlocks(blocks int64) {
-	n.ChargeTime(vtime.Disk, float64(blocks)*float64(n.block)*n.cost.IOBlockSecPerKey*n.slowdown/float64(n.disks))
+	n.ChargeTime(vtime.Disk, float64(blocks)*n.blockSec())
 }
 
 // ChargeSeek implements vtime.Meter.
@@ -449,6 +530,21 @@ func (n *Node) ObserveMerge(keys, chunks, fastChunks, comparisons int64) {
 	n.metrics.Counter("merge.chunks").Add(chunks)
 	n.metrics.Counter("merge.fastpath.chunks").Add(fastChunks)
 	n.metrics.Counter("merge.comparisons").Add(comparisons)
+}
+
+// ObserveOverlap implements diskio's overlap observer: each prefetching
+// reader and write-behind writer reports its lifetime counters when it
+// is released, and the node folds them into the metrics registry.  The
+// write-behind queue high-water mark is kept as the worst over all
+// writers (histogram + last gauge), mirroring the link-queue metrics.
+func (n *Node) ObserveOverlap(prefetched, hits, stalls, writeBehind, queueHighWater int64) {
+	n.metrics.Counter("disk.prefetch.blocks").Add(prefetched)
+	n.metrics.Counter("disk.prefetch.hits").Add(hits)
+	n.metrics.Counter("disk.prefetch.stalls").Add(stalls)
+	n.metrics.Counter("disk.writebehind.blocks").Add(writeBehind)
+	if writeBehind > 0 {
+		n.metrics.Histogram("disk.writebehind.queue.hwm").Observe(float64(queueHighWater))
+	}
 }
 
 // AcquireBuf returns a payload buffer of the given length from the

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"hetsort/internal/vtime"
+)
+
+// newOverlapNode builds a 1-node cluster with a unit-cost model so the
+// windowed-credit arithmetic is easy to state exactly: 1 s per compute
+// op, 1 s per key transferred, block = 1 key → 1 s per block.
+func newOverlapNode(t *testing.T) *Node {
+	t.Helper()
+	c, err := New(Config{
+		Slowdowns: []float64{1},
+		BlockKeys: 1,
+		Cost:      vtime.CostModel{ComputeSec: 1, IOBlockSecPerKey: 1, SeekSec: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Node(0)
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestOverlapHidesDiskBehindCompute(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(2) // capacity: 2 block-seconds of credit
+	n.ChargeCompute(3)
+	// Credit is capped at the window capacity (2), so of 3 async blocks
+	// 2 hide and 1 is exposed as disk time.
+	n.ChargeOverlappedIOBlocks(3)
+	n.EndOverlap()
+	b := n.Attribution()
+	if !approx(b.Compute, 3) || !approx(b.Disk, 1) || !approx(b.Overlapped, 2) {
+		t.Fatalf("got %v, want compute=3 disk=1 overlapped=2", b)
+	}
+	if !approx(n.Clock(), 4) {
+		t.Fatalf("clock=%f, want 4 (overlapped time must not advance it)", n.Clock())
+	}
+	if err := vtime.CheckAttribution(n.Clock(), b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapDiskWithoutComputeStaysExposed(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(2)
+	n.ChargeOverlappedIOBlocks(5) // no compute yet: nothing to hide behind
+	n.EndOverlap()
+	b := n.Attribution()
+	if !approx(b.Disk, 5) || b.Overlapped != 0 {
+		t.Fatalf("got %v, want disk=5 overlapped=0", b)
+	}
+}
+
+func TestOverlapCreditDiesWithWindow(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(4)
+	n.ChargeCompute(4)
+	n.EndOverlap()
+	// Window closed: the accrued credit must not leak into later charges.
+	n.BeginOverlap(4)
+	n.ChargeOverlappedIOBlocks(2)
+	n.EndOverlap()
+	b := n.Attribution()
+	if !approx(b.Disk, 2) || b.Overlapped != 0 {
+		t.Fatalf("credit leaked across windows: %v", b)
+	}
+	// And compute outside any window accrues nothing.
+	n.ChargeCompute(4)
+	n.BeginOverlap(4)
+	n.ChargeOverlappedIOBlocks(1)
+	n.EndOverlap()
+	if b = n.Attribution(); !approx(b.Disk, 3) || b.Overlapped != 0 {
+		t.Fatalf("out-of-window compute accrued credit: %v", b)
+	}
+}
+
+func TestOverlapNestedWindows(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(2) // reader window: cap 2
+	n.BeginOverlap(2) // writer window: cap 2 more → combined 4
+	n.ChargeCompute(10)
+	n.ChargeOverlappedIOBlocks(3) // all 3 hide (credit 4 → 1)
+	n.EndOverlap()
+	// Inner window closed: the remaining credit (1) survives because it
+	// fits under the outer cap (2).
+	n.ChargeOverlappedIOBlocks(3) // 1 hides, 2 exposed
+	n.EndOverlap()
+	b := n.Attribution()
+	if !approx(b.Overlapped, 4) || !approx(b.Disk, 2) {
+		t.Fatalf("got %v, want overlapped=4 disk=2", b)
+	}
+	if err := vtime.CheckAttribution(n.Clock(), b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapSynchronousChargesUnaffected(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(8)
+	n.ChargeCompute(10)
+	n.ChargeIOBlocks(4) // synchronous charge inside a window: full price
+	n.EndOverlap()
+	b := n.Attribution()
+	if !approx(b.Disk, 4) || b.Overlapped != 0 {
+		t.Fatalf("synchronous charge was overlapped: %v", b)
+	}
+}
+
+func TestResetClocksClearsOverlapState(t *testing.T) {
+	n := newOverlapNode(t)
+	n.BeginOverlap(4)
+	n.ChargeCompute(4)
+	n.cluster.ResetClocks()
+	// The stale window and credit must be gone: a fresh async charge has
+	// nothing to hide behind.
+	n.ChargeOverlappedIOBlocks(2)
+	b := n.Attribution()
+	if !approx(b.Disk, 2) || b.Overlapped != 0 {
+		t.Fatalf("ResetClocks left overlap state behind: %v", b)
+	}
+}
+
+func TestObserveOverlapFeedsMetrics(t *testing.T) {
+	n := newOverlapNode(t)
+	n.ObserveOverlap(10, 7, 3, 0, 0)
+	n.ObserveOverlap(0, 0, 0, 5, 2)
+	snap := n.Metrics().Snapshot()
+	for name, want := range map[string]float64{
+		"disk.prefetch.blocks":           10,
+		"disk.prefetch.hits":             7,
+		"disk.prefetch.stalls":           3,
+		"disk.writebehind.blocks":        5,
+		"disk.writebehind.queue.hwm.max": 2,
+	} {
+		if snap[name] != want {
+			t.Fatalf("%s = %v, want %v", name, snap[name], want)
+		}
+	}
+}

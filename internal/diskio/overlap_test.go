@@ -1,0 +1,288 @@
+package diskio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// overlapMeter records OverlapMeter and OverlapObserver traffic so the
+// tests can check the consumer-side accounting protocol.
+type overlapMeter struct {
+	vtime.Nop
+	begins, ends       int
+	overlapped, direct int64
+	prefetched, hits   int64
+	stalls, wbBlocks   int64
+	wbHWM              int64
+}
+
+func (m *overlapMeter) BeginOverlap(int)                 { m.begins++ }
+func (m *overlapMeter) EndOverlap()                      { m.ends++ }
+func (m *overlapMeter) ChargeOverlappedIOBlocks(n int64) { m.overlapped += n }
+func (m *overlapMeter) ChargeIOBlocks(n int64)           { m.direct += n }
+func (m *overlapMeter) ObserveOverlap(pf, hits, stalls, wb, hwm int64) {
+	m.prefetched += pf
+	m.hits += hits
+	m.stalls += stalls
+	m.wbBlocks += wb
+	if hwm > m.wbHWM {
+		m.wbHWM = hwm
+	}
+}
+
+func TestPrefetchReaderMatchesReader(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			keys := record.Uniform.Generate(1000, 7, 1) // 15 full blocks + 1 partial at 64
+			if err := WriteFile(fs, "x", keys, 64, Accounting{}); err != nil {
+				t.Fatal(err)
+			}
+			var syncC, pfC pdm.Counter
+			sf, _ := fs.Open("x")
+			sr := NewReader(sf, 64, Accounting{Counter: &syncC})
+			want, err := readAll(sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr.Release()
+			sf.Close()
+
+			pf, _ := fs.Open("x")
+			m := &overlapMeter{}
+			pr := NewPrefetchReader(pf, 64, Accounting{Counter: &pfC, Meter: m}, 4)
+			got, err := readAll(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr.Release()
+			pf.Close()
+
+			if len(got) != len(want) {
+				t.Fatalf("prefetch read %d keys, sync read %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("key %d: prefetch %d sync %d", i, got[i], want[i])
+				}
+			}
+			if pfC.Reads() != syncC.Reads() {
+				t.Fatalf("prefetch charged %d block reads, sync %d", pfC.Reads(), syncC.Reads())
+			}
+			if m.overlapped != pfC.Reads() {
+				t.Fatalf("overlap meter saw %d blocks, counter %d", m.overlapped, pfC.Reads())
+			}
+			if m.begins != 1 || m.ends != 1 {
+				t.Fatalf("window begins=%d ends=%d, want 1/1", m.begins, m.ends)
+			}
+			if m.prefetched != pfC.Reads() {
+				t.Fatalf("observer saw %d prefetched blocks, counter %d", m.prefetched, pfC.Reads())
+			}
+			if m.hits+m.stalls == 0 {
+				t.Fatal("no fill outcomes observed")
+			}
+		})
+	}
+}
+
+func readAll(r BlockReader) ([]record.Key, error) {
+	var out []record.Key
+	buf := make([]record.Key, 50)
+	for {
+		n, err := r.ReadKeys(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// TestPrefetchReaderEarlyRelease checks the count-preservation rule:
+// blocks the producer read ahead but the consumer never took are not
+// charged, exactly as a synchronous reader would never have read them.
+func TestPrefetchReaderEarlyRelease(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteFile(fs, "x", make([]record.Key, 1000), 10, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	var c pdm.Counter
+	f, _ := fs.Open("x")
+	m := &overlapMeter{}
+	r := NewPrefetchReader(f, 10, Accounting{Counter: &c, Meter: m}, 4)
+	for i := 0; i < 15; i++ { // 1.5 blocks consumed
+		if _, err := r.ReadKey(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Release()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reads() != 2 {
+		t.Fatalf("charged %d block reads after 15 keys, want 2", c.Reads())
+	}
+	if m.ends != 1 {
+		t.Fatalf("window not closed on early release (ends=%d)", m.ends)
+	}
+	if _, err := r.ReadKey(); err == nil {
+		t.Fatal("read on released PrefetchReader succeeded")
+	}
+	r.Release() // idempotent
+}
+
+func TestAsyncWriterMatchesWriter(t *testing.T) {
+	for name, mk := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			fs := mk()
+			keys := record.Uniform.Generate(777, 3, 1)
+			var syncC, asC pdm.Counter
+			sf, _ := fs.Create("sync")
+			sw := NewWriter(sf, 64, Accounting{Counter: &syncC})
+			if err := sw.WriteKeys(keys); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sf.Close()
+
+			af, _ := fs.Create("async")
+			m := &overlapMeter{}
+			aw := NewAsyncWriter(af, 64, Accounting{Counter: &asC, Meter: m}, 3)
+			// Dribble in odd-sized slices to exercise block splitting.
+			for off := 0; off < len(keys); off += 13 {
+				end := off + 13
+				if end > len(keys) {
+					end = len(keys)
+				}
+				if err := aw.WriteKeys(keys[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := aw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			af.Close()
+
+			want, err := ReadFileAll(fs, "sync", 64, Accounting{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFileAll(fs, "async", 64, Accounting{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(record.EncodeKeys(nil, want), record.EncodeKeys(nil, got)) {
+				t.Fatal("write-behind output differs from synchronous output")
+			}
+			if asC.Writes() != syncC.Writes() {
+				t.Fatalf("write-behind charged %d block writes, sync %d", asC.Writes(), syncC.Writes())
+			}
+			if m.overlapped != asC.Writes() {
+				t.Fatalf("overlap meter saw %d blocks, counter %d", m.overlapped, asC.Writes())
+			}
+			if aw.KeysWritten() != int64(len(keys)) {
+				t.Fatalf("KeysWritten=%d want %d", aw.KeysWritten(), len(keys))
+			}
+			if m.begins != 1 || m.ends != 1 {
+				t.Fatalf("window begins=%d ends=%d, want 1/1", m.begins, m.ends)
+			}
+			if m.wbBlocks != asC.Writes() {
+				t.Fatalf("observer saw %d write-behind blocks, counter %d", m.wbBlocks, asC.Writes())
+			}
+			if m.wbHWM < 1 {
+				t.Fatalf("queue high-water %d, want >= 1", m.wbHWM)
+			}
+		})
+	}
+}
+
+// failAfterFile fails every Write after the first n.
+type failAfterFile struct {
+	File
+	n int
+}
+
+func (f *failAfterFile) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("boom")
+	}
+	f.n--
+	return f.File.Write(p)
+}
+
+func TestAsyncWriterSurfacesWriteError(t *testing.T) {
+	fs := NewMemFS()
+	inner, _ := fs.Create("x")
+	f := &failAfterFile{File: inner, n: 1}
+	w := NewAsyncWriter(f, 10, Accounting{}, 2)
+	// Enough blocks that the drainer hits the failure and must keep
+	// draining (discarding) so this loop cannot deadlock.
+	if err := w.WriteKeys(make([]record.Key, 200)); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Close()
+	if err == nil {
+		t.Fatal("Close did not surface the drainer's write error")
+	}
+	if w.Close() != err {
+		t.Fatal("Close is not idempotent on the error")
+	}
+	if werr := w.WriteKeys(make([]record.Key, 1)); werr == nil {
+		t.Fatal("write after failed Close succeeded")
+	}
+}
+
+func TestNewBlockReaderWriterFallThrough(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	sw := NewBlockWriter(f, 10, Accounting{}, Overlap{})
+	if _, ok := sw.(*Writer); !ok {
+		t.Fatal("disabled Overlap did not yield the synchronous Writer")
+	}
+	sw.Close()
+	aw := NewBlockWriter(f, 10, Accounting{}, Overlap{Enabled: true})
+	if _, ok := aw.(*AsyncWriter); !ok {
+		t.Fatal("enabled Overlap did not yield the write-behind AsyncWriter")
+	}
+	aw.Close()
+	f.Close()
+	if err := WriteFile(fs, "y", make([]record.Key, 5), 10, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := fs.Open("y")
+	if _, ok := NewBlockReader(rf, 10, Accounting{}, Overlap{}).(*Reader); !ok {
+		t.Fatal("disabled Overlap did not yield the synchronous Reader")
+	}
+	r := NewBlockReader(rf, 10, Accounting{}, Overlap{Enabled: true})
+	pr, ok := r.(*PrefetchReader)
+	if !ok {
+		t.Fatal("enabled Overlap did not yield the PrefetchReader")
+	}
+	pr.Release()
+	rf.Close()
+}
+
+// TestOverlapDepthDefault checks the <= 1 → double-buffering rule.
+func TestOverlapDepthDefault(t *testing.T) {
+	for _, d := range []int{-1, 0, 1} {
+		if got := (Overlap{Depth: d}).depth(); got != 2 {
+			t.Fatalf("Overlap{Depth: %d}.depth() = %d, want 2", d, got)
+		}
+	}
+	if got := (Overlap{Depth: 5}).depth(); got != 5 {
+		t.Fatalf("Overlap{Depth: 5}.depth() = %d", got)
+	}
+}

@@ -349,6 +349,37 @@ func TestPipelineAblation(t *testing.T) {
 	}
 }
 
+func TestOverlapAblation(t *testing.T) {
+	o := fastOptions()
+	o.Trials = 1
+	rows, err := OverlapAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two variants x four metrics.  Byte-identity, the exact I/O-count
+	// match and the strict virtual-time win are asserted inside
+	// OverlapAblation itself; here we check the rendered shape.
+	if len(rows) != 8 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byMetric := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byMetric[r.Metric] == nil {
+			byMetric[r.Metric] = map[string]float64{}
+		}
+		byMetric[r.Metric][r.Variant] = r.Value
+	}
+	if byMetric["hiddenDiskSec"]["synchronous"] != 0 {
+		t.Fatalf("synchronous run hid %v disk seconds", byMetric["hiddenDiskSec"]["synchronous"])
+	}
+	if byMetric["hiddenDiskSec"]["overlapped"] <= 0 {
+		t.Fatal("overlapped run hid no disk time")
+	}
+	if !strings.Contains(AblationsString(rows), "A9") {
+		t.Fatal("render")
+	}
+}
+
 func TestRunAttribution(t *testing.T) {
 	rep, err := RunAttribution(fastOptions())
 	if err != nil {

@@ -101,6 +101,17 @@ type Config struct {
 	// from the resume fingerprint, so an interrupted run may be
 	// resumed with either setting.
 	Pipeline bool
+	// Overlap turns on asynchronous disk I/O: readers prefetch blocks
+	// ahead of the consumer and writers flush behind it, so disk
+	// transfer time hides behind concurrent compute up to the stream's
+	// in-flight depth (vtime.OverlapMeter's windowed model).  The PDM
+	// I/O *counts* and the output bytes are identical to the synchronous
+	// path — only virtual time changes — and like Pipeline it is an
+	// execution strategy excluded from the resume fingerprint.
+	Overlap bool
+	// OverlapDepth is the number of blocks kept in flight per
+	// overlapped stream (0 = max(2, the node's DisksPerNode)).
+	OverlapDepth int
 	// Checkpoint makes the five phase boundaries durable commit points:
 	// each node writes a manifest (see internal/checkpoint) to its
 	// private FS after every phase, segment files are retained until
@@ -668,6 +679,19 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 
 func (w *worker) sortedName() string { return "hetsort.sorted" }
 
+// overlap resolves the node's overlapped-I/O mode: depth defaults to the
+// node's disk parallelism (minimum 2, double buffering).
+func (w *worker) overlap() diskio.Overlap {
+	if !w.cfg.Overlap {
+		return diskio.Overlap{}
+	}
+	depth := w.cfg.OverlapDepth
+	if depth <= 0 {
+		depth = w.n.Disks()
+	}
+	return diskio.Overlap{Enabled: true, Depth: depth}
+}
+
 func (w *worker) polyCfg(prefix string) polyphase.Config {
 	return polyphase.Config{
 		FS:           w.n.FS(),
@@ -676,6 +700,7 @@ func (w *worker) polyCfg(prefix string) polyphase.Config {
 		Tapes:        w.cfg.Tapes,
 		RunFormation: w.cfg.RunFormation,
 		Acct:         w.n.Acct(),
+		Overlap:      w.overlap(),
 		TempPrefix:   prefix,
 	}
 }
@@ -750,7 +775,8 @@ func (w *worker) partition(pivots []record.Key) ([]int64, error) {
 		return nil, err
 	}
 	defer in.Close()
-	r := diskio.NewReader(in, cfg.BlockKeys, n.Acct())
+	r := diskio.NewBlockReader(in, cfg.BlockKeys, n.Acct(), w.overlap())
+	defer r.Release() // joins any prefetch goroutine before in closes
 
 	sizes := make([]int64, p)
 	seg := 0
@@ -758,13 +784,24 @@ func (w *worker) partition(pivots []record.Key) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
 	closeSeg := func() error {
-		if err := out.Close(); err != nil {
-			return err
+		werr := out.Close()
+		ferr := outFile.Close()
+		out, outFile = nil, nil
+		if werr != nil {
+			return werr
 		}
-		return outFile.Close()
+		return ferr
 	}
+	defer func() {
+		// Error-path cleanup: the write-behind drainer must be joined
+		// before its file handle goes away.
+		if out != nil {
+			out.Close()
+			outFile.Close()
+		}
+	}()
 	buf := make([]record.Key, cfg.BlockKeys)
 	for {
 		cnt, rerr := r.ReadKeys(buf)
@@ -778,7 +815,7 @@ func (w *worker) partition(pivots []record.Key) ([]int64, error) {
 				if err != nil {
 					return nil, err
 				}
-				out = diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+				out = diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
 			}
 			if err := out.WriteKey(k); err != nil {
 				return nil, err
@@ -844,12 +881,13 @@ func (w *worker) sendSegments(needy []bool) error {
 		if err != nil {
 			return err
 		}
-		r := diskio.NewReader(f, cfg.BlockKeys, n.Acct())
+		r := diskio.NewBlockReader(f, cfg.BlockKeys, n.Acct(), w.overlap())
 		for {
 			buf := n.AcquireBuf(cfg.MessageKeys)
 			cnt, rerr := r.ReadKeys(buf)
 			if cnt > 0 {
 				if err := n.SendOwned(j, tagData, buf[:cnt]); err != nil {
+					r.Release()
 					f.Close()
 					return err
 				}
@@ -860,6 +898,7 @@ func (w *worker) sendSegments(needy []bool) error {
 				break
 			}
 			if rerr != nil {
+				r.Release()
 				f.Close()
 				return rerr
 			}
@@ -897,10 +936,11 @@ func (w *worker) receiveSegments(names []string) ([]int64, error) {
 		if err != nil {
 			return nil, err
 		}
-		wr := diskio.NewWriter(f, cfg.BlockKeys, n.Acct())
+		wr := diskio.NewBlockWriter(f, cfg.BlockKeys, n.Acct(), w.overlap())
 		for {
 			keys, err := n.Recv(i, tagData)
 			if err != nil {
+				wr.Close()
 				f.Close()
 				return nil, err
 			}
@@ -910,6 +950,7 @@ func (w *worker) receiveSegments(names []string) ([]int64, error) {
 			werr := wr.WriteKeys(keys)
 			n.ReleaseBuf(keys)
 			if werr != nil {
+				wr.Close()
 				f.Close()
 				return nil, werr
 			}

@@ -31,7 +31,7 @@ func (w *worker) pipelineMerge(recvNames []string) (counts []int64, err error) {
 
 	streams := make([]*cluster.Stream, p)
 	spillFiles := make([]diskio.File, p)
-	spillW := make([]*diskio.Writer, p)
+	spillW := make([]diskio.BlockWriter, p)
 	defer func() {
 		for _, s := range streams {
 			if s != nil {
@@ -58,7 +58,7 @@ func (w *worker) pipelineMerge(recvNames []string) (counts []int64, err error) {
 			if cerr != nil {
 				return nil, cerr
 			}
-			wr := diskio.NewWriter(f, cfg.BlockKeys, n.Acct())
+			wr := diskio.NewBlockWriter(f, cfg.BlockKeys, n.Acct(), w.overlap())
 			spillFiles[i], spillW[i] = f, wr
 			s.Tee = wr.WriteKeys
 		}
@@ -75,7 +75,7 @@ func (w *worker) pipelineMerge(recvNames []string) (counts []int64, err error) {
 	if err != nil {
 		return nil, err
 	}
-	out := diskio.NewWriter(outFile, cfg.BlockKeys, n.Acct())
+	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
 	srcs := make([]polyphase.MergeSource, p)
 	for i := range streams {
 		srcs[i] = streams[i]

@@ -63,8 +63,10 @@ func MergeFiles(cfg Config, inputs []string, outputName string) error {
 func mergeGroup(cfg Config, inputs []string, out string) error {
 	files := make([]diskio.File, len(inputs))
 	srcs := make([]MergeSource, len(inputs))
-	readers := make([]*diskio.Reader, len(inputs))
+	readers := make([]diskio.BlockReader, len(inputs))
 	defer func() {
+		// Release before Close: a prefetching reader's goroutine must
+		// be joined before its file handle goes away.
 		for _, r := range readers {
 			if r != nil {
 				r.Release()
@@ -82,7 +84,7 @@ func mergeGroup(cfg Config, inputs []string, out string) error {
 			return fmt.Errorf("polyphase: merge open %s: %w", name, err)
 		}
 		files[i] = f
-		readers[i] = diskio.NewReader(f, cfg.BlockKeys, cfg.Acct)
+		readers[i] = diskio.NewBlockReader(f, cfg.BlockKeys, cfg.Acct, cfg.Overlap)
 		srcs[i] = readers[i]
 	}
 	of, err := cfg.FS.Create(out)
@@ -90,7 +92,7 @@ func mergeGroup(cfg Config, inputs []string, out string) error {
 		return err
 	}
 	defer of.Close()
-	w := diskio.NewWriter(of, cfg.BlockKeys, cfg.Acct)
+	w := diskio.NewBlockWriter(of, cfg.BlockKeys, cfg.Acct, cfg.Overlap)
 	defer w.Close()
 
 	if err := Merge(srcs, cfg.Acct.Meter, w.WriteKeys); err != nil {
@@ -114,8 +116,10 @@ func copyFile(cfg Config, src, dst string) error {
 		return err
 	}
 	defer out.Close()
-	r := diskio.NewReader(in, cfg.BlockKeys, cfg.Acct)
-	w := diskio.NewWriter(out, cfg.BlockKeys, cfg.Acct)
+	r := diskio.NewBlockReader(in, cfg.BlockKeys, cfg.Acct, cfg.Overlap)
+	defer r.Release()
+	w := diskio.NewBlockWriter(out, cfg.BlockKeys, cfg.Acct, cfg.Overlap)
+	defer w.Close()
 	buf := make([]uint32, cfg.BlockKeys)
 	for {
 		n, err := r.ReadKeys(buf)

@@ -27,6 +27,10 @@ type Config struct {
 	RunFormation RunFormation
 	// Acct receives I/O counts and virtual-time charges.
 	Acct diskio.Accounting
+	// Overlap selects asynchronous prefetch and write-behind for the
+	// tape streams (PDM I/O counts are unchanged; only virtual time
+	// hides behind compute).
+	Overlap diskio.Overlap
 	// TempPrefix prefixes tape file names so concurrent sorts on a
 	// shared FS do not collide.
 	TempPrefix string
@@ -57,25 +61,30 @@ type Stats struct {
 }
 
 // tape is one of the T files, with in-memory run-boundary metadata.
+// Readers are always Released (joining any prefetch goroutine) before
+// the underlying file closes, and writers are always Closed (joining
+// any write-behind drainer) even on error paths.
 type tape struct {
-	fs    diskio.FS
-	name  string
-	block int
-	acct  diskio.Accounting
+	fs      diskio.FS
+	name    string
+	block   int
+	acct    diskio.Accounting
+	overlap diskio.Overlap
 
 	runs    []int64 // FIFO of run lengths in keys
 	dummies int64
 
 	rf diskio.File
-	r  *diskio.Reader
+	r  diskio.BlockReader
 	wf diskio.File
-	w  *diskio.Writer
+	w  diskio.BlockWriter
 }
 
 func (t *tape) total() int64 { return int64(len(t.runs)) + t.dummies }
 
 func (t *tape) becomeOutput() error {
 	if t.rf != nil {
+		t.r.Release()
 		if err := t.rf.Close(); err != nil {
 			return err
 		}
@@ -86,7 +95,7 @@ func (t *tape) becomeOutput() error {
 		return err
 	}
 	t.wf = f
-	t.w = diskio.NewWriter(f, t.block, t.acct)
+	t.w = diskio.NewBlockWriter(f, t.block, t.acct, t.overlap)
 	t.runs = t.runs[:0]
 	return nil
 }
@@ -107,12 +116,13 @@ func (t *tape) finishOutput() error {
 		return err
 	}
 	t.rf = f
-	t.r = diskio.NewReader(f, t.block, t.acct)
+	t.r = diskio.NewBlockReader(f, t.block, t.acct, t.overlap)
 	return nil
 }
 
 func (t *tape) close() {
 	if t.rf != nil {
+		t.r.Release()
 		t.rf.Close()
 		t.rf, t.r = nil, nil
 	}
@@ -213,10 +223,11 @@ func Sort(cfg Config, inputName, outputName string) (Stats, error) {
 	tapes := make([]*tape, cfg.Tapes)
 	for i := range tapes {
 		tapes[i] = &tape{
-			fs:    cfg.FS,
-			name:  fmt.Sprintf("%stape%d", cfg.TempPrefix, i),
-			block: cfg.BlockKeys,
-			acct:  cfg.Acct,
+			fs:      cfg.FS,
+			name:    fmt.Sprintf("%stape%d", cfg.TempPrefix, i),
+			block:   cfg.BlockKeys,
+			acct:    cfg.Acct,
+			overlap: cfg.Overlap,
 		}
 	}
 	defer func() {
@@ -235,7 +246,7 @@ func Sort(cfg Config, inputName, outputName string) (Stats, error) {
 	dist := newDistributor(inputs)
 	sink := &countingSink{inner: dist, lenDst: &dist.curLen}
 	runs, keys, err := formRuns(cfg.FS, inputName, cfg.BlockKeys, cfg.MemoryKeys,
-		cfg.RunFormation, cfg.Acct, sink)
+		cfg.RunFormation, cfg.Acct, cfg.Overlap, sink)
 	if err != nil {
 		return Stats{}, fmt.Errorf("polyphase: run formation: %w", err)
 	}

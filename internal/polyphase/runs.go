@@ -3,7 +3,7 @@ package polyphase
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"hetsort/internal/diskio"
 	"hetsort/internal/record"
@@ -47,14 +47,15 @@ type runSink interface {
 // and keys processed.
 func formRuns(
 	fs diskio.FS, inputName string, blockKeys, memoryKeys int,
-	how RunFormation, acct diskio.Accounting, sink runSink,
+	how RunFormation, acct diskio.Accounting, ov diskio.Overlap, sink runSink,
 ) (runs int64, keys int64, err error) {
 	in, err := fs.Open(inputName)
 	if err != nil {
 		return 0, 0, fmt.Errorf("polyphase: opening input: %w", err)
 	}
 	defer in.Close()
-	r := diskio.NewReader(in, blockKeys, acct)
+	r := diskio.NewBlockReader(in, blockKeys, acct, ov)
+	defer r.Release() // joins any prefetch goroutine before in closes
 	meter := acct.Meter
 	if meter == nil {
 		meter = vtime.Nop{}
@@ -69,7 +70,7 @@ func formRuns(
 	}
 }
 
-func formRunsReplacement(r *diskio.Reader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
+func formRunsReplacement(r diskio.BlockReader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
 	h := newSelectionHeap(memoryKeys, meter)
 	var total int64
 	// Prime the heap.
@@ -140,14 +141,14 @@ func formRunsReplacement(r *diskio.Reader, memoryKeys int, meter vtime.Meter, si
 	return runs, total, nil
 }
 
-func formRunsLoadSort(r *diskio.Reader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
+func formRunsLoadSort(r diskio.BlockReader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
 	load := make([]record.Key, memoryKeys)
 	var runs, total int64
 	for {
 		n, err := r.ReadKeys(load)
 		if n > 0 {
 			chunk := load[:n]
-			sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+			slices.Sort(chunk)
 			meter.ChargeCompute(nLogN(int64(n)))
 			if err := sink.beginRun(); err != nil {
 				return runs, total, err

@@ -8,7 +8,7 @@ package psrs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hetsort/internal/cluster"
 	"hetsort/internal/perf"
@@ -138,7 +138,7 @@ func Sort(c *cluster.Cluster, cfg Config, portions [][]record.Key) (*Result, err
 // localSort sorts a copy of the portion, charging n log n compute.
 func localSort(n *cluster.Node, portion []record.Key) []record.Key {
 	local := append([]record.Key(nil), portion...)
-	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	slices.Sort(local)
 	n.ChargeCompute(nLogN(int64(len(local))))
 	return local
 }

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hetsort/internal/record"
 )
@@ -80,7 +80,7 @@ func (s *Summary) flush() {
 	if len(s.buffer) == 0 {
 		return
 	}
-	sort.Slice(s.buffer, func(i, j int) bool { return s.buffer[i] < s.buffer[j] })
+	slices.Sort(s.buffer)
 	merged := make([]tuple, 0, len(s.tuples)+len(s.buffer))
 	ti := 0
 	for _, v := range s.buffer {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"hetsort/internal/perf"
@@ -89,7 +90,7 @@ func SelectPivotsRegular(candidates []record.Key, v perf.Vector) ([]record.Key, 
 		return make([]record.Key, p-1), nil
 	}
 	sorted := append([]record.Key(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	sum := float64(v.Sum())
 	pivots := make([]record.Key, p-1)
 	var cum int64
@@ -142,7 +143,7 @@ func SelectPivotsWeighted(candidates []record.Key, v perf.Vector) ([]record.Key,
 		return make([]record.Key, p-1), nil
 	}
 	sorted := append([]record.Key(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	sum := v.Sum()
 	pivots := make([]record.Key, p-1)
 	var cum int64
@@ -184,7 +185,7 @@ func RandomSampleIndices(n int64, count int, seed int64) []int64 {
 			out = append(out, i)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

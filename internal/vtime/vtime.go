@@ -70,12 +70,46 @@ type TimeMeter interface {
 	ChargeTime(cat Category, sec float64)
 }
 
+// OverlapMeter extends TimeMeter for meters that can hide disk transfer
+// time behind concurrent compute — the accounting model of asynchronous
+// prefetch and write-behind, where the drive transfers while the CPU
+// merges (the PDM's D parameter assumes exactly this).
+//
+// The model is windowed: between BeginOverlap and the matching
+// EndOverlap, compute charges accrue an overlap credit (bounded by the
+// window's in-flight capacity, depthBlocks block-times), and every block
+// charged through ChargeOverlappedIOBlocks spends credit first.  The
+// spent (hidden) portion advances the clock by nothing and is recorded
+// in Breakdown.Overlapped; only the remainder is charged as exposed Disk
+// time.  Per window the exposed disk time is therefore
+// max(0, disk − overlappable compute): the disk's I/O *count* is
+// unchanged, only its virtual *time* hides.  Windows nest; credit dies
+// with the last window.
+type OverlapMeter interface {
+	TimeMeter
+	// BeginOverlap opens an overlap window whose device can keep up to
+	// depthBlocks block transfers in flight (<= 0 means 2,
+	// double-buffering).
+	BeginOverlap(depthBlocks int)
+	// EndOverlap closes the innermost window opened by BeginOverlap.
+	EndOverlap()
+	// ChargeOverlappedIOBlocks charges the transfer of n disk blocks
+	// issued asynchronously inside an overlap window.
+	ChargeOverlappedIOBlocks(n int64)
+}
+
 // Breakdown splits a span of virtual time over the categories.
+//
+// Overlapped is disk transfer time that an overlap window hid behind
+// concurrent compute (see OverlapMeter): it advanced the clock by
+// nothing, so it is reported as its own column and excluded from Total —
+// the four wall-clock categories alone sum to the clock.
 type Breakdown struct {
-	Compute float64 `json:"compute"`
-	Disk    float64 `json:"disk"`
-	Network float64 `json:"network"`
-	Idle    float64 `json:"idle"`
+	Compute    float64 `json:"compute"`
+	Disk       float64 `json:"disk"`
+	Network    float64 `json:"network"`
+	Idle       float64 `json:"idle"`
+	Overlapped float64 `json:"overlapped,omitempty"`
 }
 
 // Charge adds sec seconds to the category.
@@ -92,16 +126,18 @@ func (b *Breakdown) Charge(cat Category, sec float64) {
 	}
 }
 
-// Total returns the sum of the four categories.
+// Total returns the sum of the four wall-clock categories (Overlapped
+// excluded: hidden disk time never advanced the clock).
 func (b Breakdown) Total() float64 { return b.Compute + b.Disk + b.Network + b.Idle }
 
 // Add returns the element-wise sum.
 func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
-		Compute: b.Compute + o.Compute,
-		Disk:    b.Disk + o.Disk,
-		Network: b.Network + o.Network,
-		Idle:    b.Idle + o.Idle,
+		Compute:    b.Compute + o.Compute,
+		Disk:       b.Disk + o.Disk,
+		Network:    b.Network + o.Network,
+		Idle:       b.Idle + o.Idle,
+		Overlapped: b.Overlapped + o.Overlapped,
 	}
 }
 
@@ -109,16 +145,17 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 // algorithm step with a shared accumulator.
 func (b Breakdown) Sub(o Breakdown) Breakdown {
 	return Breakdown{
-		Compute: b.Compute - o.Compute,
-		Disk:    b.Disk - o.Disk,
-		Network: b.Network - o.Network,
-		Idle:    b.Idle - o.Idle,
+		Compute:    b.Compute - o.Compute,
+		Disk:       b.Disk - o.Disk,
+		Network:    b.Network - o.Network,
+		Idle:       b.Idle - o.Idle,
+		Overlapped: b.Overlapped - o.Overlapped,
 	}
 }
 
 func (b Breakdown) String() string {
-	return fmt.Sprintf("Breakdown{compute=%.6f disk=%.6f network=%.6f idle=%.6f}",
-		b.Compute, b.Disk, b.Network, b.Idle)
+	return fmt.Sprintf("Breakdown{compute=%.6f disk=%.6f network=%.6f idle=%.6f overlapped=%.6f}",
+		b.Compute, b.Disk, b.Network, b.Idle, b.Overlapped)
 }
 
 // AttributionTolerance bounds the float drift the invariant check
@@ -128,8 +165,10 @@ func (b Breakdown) String() string {
 const AttributionTolerance = 1e-9
 
 // CheckAttribution verifies the attribution invariant: the breakdown's
-// categories must sum to the clock within AttributionTolerance
-// (relative, with an absolute floor of one tolerance for tiny clocks).
+// wall-clock categories (compute, disk, network, idle — Overlapped is
+// hidden time and deliberately outside the sum) must sum to the clock
+// within AttributionTolerance (relative, with an absolute floor of one
+// tolerance for tiny clocks).
 func CheckAttribution(clock float64, b Breakdown) error {
 	tol := AttributionTolerance
 	if clock > 1 {
@@ -157,6 +196,15 @@ func (Nop) ChargeSeek(int64) {}
 
 // ChargeTime implements TimeMeter.
 func (Nop) ChargeTime(Category, float64) {}
+
+// BeginOverlap implements OverlapMeter.
+func (Nop) BeginOverlap(int) {}
+
+// EndOverlap implements OverlapMeter.
+func (Nop) EndOverlap() {}
+
+// ChargeOverlappedIOBlocks implements OverlapMeter.
+func (Nop) ChargeOverlappedIOBlocks(int64) {}
 
 // CostModel converts work units into virtual seconds.  The defaults are
 // calibrated (see DefaultCostModel) so that a speed-1 node external-sorts

@@ -27,13 +27,19 @@ type TimeBreakdown struct {
 	// Idle is time spent waiting — blocked receives, barrier waits,
 	// retry backoff, and a resumed run's replayed clock.
 	Idle float64 `json:"idle"`
+	// Overlapped is disk transfer time hidden behind concurrent compute
+	// by Config.Overlap.  It advanced the clock by nothing, so it is
+	// informational and excluded from Total.
+	Overlapped float64 `json:"overlapped,omitempty"`
 }
 
-// Total returns the sum of the categories (the clock span covered).
+// Total returns the sum of the four wall-clock categories (Overlapped
+// excluded: hidden disk time never advanced the clock).
 func (t TimeBreakdown) Total() float64 { return t.Compute + t.Disk + t.Network + t.Idle }
 
 func toBreakdown(b vtime.Breakdown) TimeBreakdown {
-	return TimeBreakdown{Compute: b.Compute, Disk: b.Disk, Network: b.Network, Idle: b.Idle}
+	return TimeBreakdown{Compute: b.Compute, Disk: b.Disk, Network: b.Network, Idle: b.Idle,
+		Overlapped: b.Overlapped}
 }
 
 // Report describes one sort run: virtual time, per-step breakdown,
@@ -146,10 +152,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  block I/O: %d reads, %d writes\n", r.ReadBlocks, r.WriteBlocks)
 	if len(r.NodeBreakdown) > 0 {
 		fmt.Fprintf(&b, "  where the time went (per node, virtual s):\n")
-		fmt.Fprintf(&b, "    %-6s %10s %10s %10s %10s %10s\n", "node", "compute", "disk", "network", "idle", "clock")
+		fmt.Fprintf(&b, "    %-6s %10s %10s %10s %10s %10s %10s\n", "node", "compute", "disk", "network", "idle", "clock", "overlapped")
 		for i, t := range r.NodeBreakdown {
-			fmt.Fprintf(&b, "    %-6d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
-				i, t.Compute, t.Disk, t.Network, t.Idle, t.Total())
+			fmt.Fprintf(&b, "    %-6d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				i, t.Compute, t.Disk, t.Network, t.Idle, t.Total(), t.Overlapped)
 		}
 	}
 	return b.String()
