@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		loadsStr = flag.String("loads", "4,4,1,1", "comma-separated node slowdown factors (>= 1)")
-		keys     = flag.Int64("keys", 262144, "keys each node sorts during calibration (paper: N/P = 2^22)")
-		block    = flag.Int("block", 2048, "disk block size in keys")
-		memory   = flag.Int("memory", 1<<16, "per-node memory in keys")
-		tapes    = flag.Int("tapes", 15, "polyphase file count")
+		loadsStr  = flag.String("loads", "4,4,1,1", "comma-separated node slowdown factors (>= 1)")
+		keys      = flag.Int64("keys", 262144, "keys each node sorts during calibration (paper: N/P = 2^22)")
+		block     = flag.Int("block", 2048, "disk block size in keys")
+		memory    = flag.Int("memory", 1<<16, "per-node memory in keys")
+		tapes     = flag.Int("tapes", 15, "polyphase file count")
+		showGantt = flag.Bool("trace", false, "print a virtual-time Gantt chart of the calibration sorts")
 	)
 	flag.Parse()
 
@@ -42,15 +43,19 @@ func main() {
 		BlockKeys:  *block,
 		MemoryKeys: *memory,
 		Tapes:      *tapes,
+		Trace:      *showGantt,
 	}
-	vec, times, err := hetsort.Calibrate(cfg, *keys)
+	cal, err := hetsort.CalibrateReport(cfg, *keys)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("per-node sequential external sort of %d keys:\n", *keys)
-	for i, t := range times {
+	for i, t := range cal.Times {
 		fmt.Printf("  node %d (load %.1fx): %10.3f virtual s\n", i, loads[i], t)
 	}
-	fmt.Printf("derived perf vector: %v\n", vec)
+	fmt.Printf("derived perf vector: %v\n", cal.Perf)
+	if *showGantt {
+		fmt.Print(cal.Gantt)
+	}
 }

@@ -1,0 +1,28 @@
+package hetsort_test
+
+// This file lives in the external test package: internal/check imports
+// hetsort, so the in-package tests cannot import it back.
+
+import (
+	"testing"
+
+	"hetsort/internal/check"
+)
+
+// TestCheckQuick is the tier-1 entry point of the cross-configuration
+// harness: the PR-gate sweep (deterministic corner cases plus a small
+// seeded random sample, crash/resume on a subset) must stay green.
+// `go run ./cmd/hetcheck` runs the same sweep at larger budgets.
+func TestCheckQuick(t *testing.T) {
+	sum := check.Sweep(check.Options{
+		Quick:    true,
+		BaseSeed: 1,
+		Scratch:  t.TempDir(),
+	})
+	if sum.Cases == 0 || sum.Runs == 0 {
+		t.Fatalf("sweep ran %d cases / %d runs", sum.Cases, sum.Runs)
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n%s", f.String(), f.Repro)
+	}
+}

@@ -223,22 +223,27 @@ func (c Config) newCluster(v perf.Vector) (*cluster.Cluster, *trace.Log, error) 
 	loads := c.Loads
 	if loads == nil {
 		loads = v.Slowdowns()
+	} else if err := perf.ValidateLoads(loads); err != nil {
+		return nil, nil, fmt.Errorf("hetsort: %w", err)
 	}
 	if len(loads) != len(v) {
 		return nil, nil, fmt.Errorf("hetsort: %d loads for %d nodes", len(loads), len(v))
 	}
 	var disks func(int) diskio.FS
+	var derr error
 	if c.WorkDir != "" {
-		var derr error
 		disks = func(id int) diskio.FS {
 			fs, e := diskio.NewDirFS(fmt.Sprintf("%s/node%d", c.WorkDir, id))
 			if e != nil {
-				derr = e
+				// Remember the failure; newCluster surfaces it below.
+				// The placeholder MemFS is never used.
+				if derr == nil {
+					derr = e
+				}
 				return diskio.NewMemFS()
 			}
 			return fs
 		}
-		defer func() { _ = derr }()
 	}
 	cl, err := cluster.New(cluster.Config{
 		Slowdowns: loads,
@@ -247,6 +252,12 @@ func (c Config) newCluster(v perf.Vector) (*cluster.Cluster, *trace.Log, error) 
 		Disks:     disks,
 		Trace:     tl,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if derr != nil {
+		return nil, nil, fmt.Errorf("hetsort: work dir %q: %w", c.WorkDir, derr)
+	}
 	return cl, tl, err
 }
 
@@ -396,36 +407,69 @@ func (c Config) sortOnCluster(cl *cluster.Cluster, v perf.Vector, want record.Ch
 	}
 }
 
+// Calibration reports one run of the paper's perf-vector calibration
+// protocol: the derived vector, the per-node sequential sort times it
+// was computed from, and — when Config.Trace was set — the rendered
+// virtual-time trace of the calibration sorts.
+type Calibration struct {
+	// Perf is the derived perf vector (slowest node = 1).
+	Perf []int
+	// Times is each node's virtual time for the calibration sort.
+	Times []float64
+	// Timeline and Gantt hold the rendered trace when Config.Trace was
+	// set.
+	Timeline string
+	Gantt    string
+	// TraceLog is the raw event log when Config.Trace was set.
+	TraceLog *trace.Log `json:"-"`
+}
+
 // Calibrate runs the paper's protocol for filling the perf vector on
 // the configured cluster: each node externally sorts perNodeKeys keys;
 // the ratios of the slowest time to each node's time become the vector.
 // Config.Loads (or the perf-derived defaults) determine the machine
-// being calibrated.
+// being calibrated.  Config.Trace is rejected here because this
+// signature has nowhere to return the timeline; use CalibrateReport.
 func Calibrate(cfg Config, perNodeKeys int64) ([]int, []float64, error) {
+	if cfg.Trace {
+		return nil, nil, errors.New("hetsort: Calibrate cannot return a trace; use CalibrateReport for Config.Trace")
+	}
+	cal, err := CalibrateReport(cfg, perNodeKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cal.Perf, cal.Times, nil
+}
+
+// CalibrateReport is Calibrate with the full report: it additionally
+// honours Config.Trace, attaching the virtual-time timeline and Gantt
+// chart of the calibration sorts.
+func CalibrateReport(cfg Config, perNodeKeys int64) (*Calibration, error) {
 	if perNodeKeys <= 0 {
-		return nil, nil, errors.New("hetsort: perNodeKeys must be positive")
+		return nil, errors.New("hetsort: perNodeKeys must be positive")
 	}
 	v, err := cfg.vector()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	c, tl, err := cfg.newCluster(v)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	_ = tl
 	ecfg, err := cfg.extsortConfig(v)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ecfg.ApplyDefaults(c.P())
 	for i := 0; i < c.P(); i++ {
 		keys := record.Uniform.Generate(int(perNodeKeys), cfg.Seed+int64(i), 1)
 		if err := diskio.WriteFile(c.Node(i).FS(), "calinput", keys, cfg.blockKeys(), diskio.Accounting{}); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	err = c.Run(func(n *cluster.Node) error {
+		endPhase := n.TracePhase("calibrate")
+		defer endPhase()
 		pcfg := polyphase.Config{
 			FS:         n.FS(),
 			BlockKeys:  ecfg.BlockKeys,
@@ -438,7 +482,7 @@ func Calibrate(cfg Config, perNodeKeys int64) ([]int, []float64, error) {
 		return serr
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	times := make([]float64, c.P())
 	for i := range times {
@@ -446,9 +490,15 @@ func Calibrate(cfg Config, perNodeKeys int64) ([]int, []float64, error) {
 	}
 	vec, err := perf.FromTimes(times)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return []int(vec), times, nil
+	cal := &Calibration{Perf: []int(vec), Times: times}
+	if tl != nil {
+		cal.TraceLog = tl
+		cal.Timeline = tl.Timeline()
+		cal.Gantt = tl.Gantt(60)
+	}
+	return cal, nil
 }
 
 // ValidSize rounds n up to the nearest input size for which the perf

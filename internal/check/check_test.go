@@ -1,0 +1,260 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"hetsort"
+	"hetsort/internal/pdm"
+)
+
+// invariantByName fetches one registry entry for direct exercise.
+func invariantByName(t *testing.T, name string) Invariant {
+	t.Helper()
+	for _, inv := range Registry() {
+		if inv.Name == name {
+			return inv
+		}
+	}
+	t.Fatalf("no invariant %q in registry", name)
+	return Invariant{}
+}
+
+func TestSelect(t *testing.T) {
+	if got, want := len(Select("")), len(Registry()); got != want {
+		t.Fatalf("empty filter selected %d invariants, want all %d", got, want)
+	}
+	got := Select("balance, step-io")
+	if len(got) != 2 || got[0].Name != "balance" || got[1].Name != "step-io" {
+		names := make([]string, len(got))
+		for i, inv := range got {
+			names[i] = inv.Name
+		}
+		t.Fatalf("filter selected %v, want [balance step-io]", names)
+	}
+	if got := Select("no-such-invariant"); len(got) != 0 {
+		t.Fatalf("bogus filter selected %d invariants", len(got))
+	}
+}
+
+// The synthetic-outcome tests feed hand-built violations straight into
+// the invariant checks: the harness must have teeth independent of
+// whether the sorter currently has bugs.
+
+func TestSortedInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "sorted")
+	o := &Outcome{
+		Case: &Case{Name: "synthetic", Keys: []hetsort.Key{1, 2, 3}},
+		Runs: []Run{{Label: "base", Output: []hetsort.Key{1, 3, 2}}},
+	}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("sorted invariant accepted a descending pair")
+	}
+}
+
+func TestPermutationInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "permutation")
+	c := &Case{Name: "synthetic", Keys: []hetsort.Key{5, 6, 7}}
+	// Sorted, right length, wrong multiset.
+	o := &Outcome{Case: c, Runs: []Run{{Label: "base", Output: []hetsort.Key{5, 6, 6}}}}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("permutation invariant accepted a dropped key")
+	}
+	o = &Outcome{Case: c, Runs: []Run{{Label: "base", Output: []hetsort.Key{5, 6}}}}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("permutation invariant accepted a short output")
+	}
+}
+
+func TestEquivalenceInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "equivalence")
+	o := &Outcome{
+		Case: &Case{Name: "synthetic", Keys: []hetsort.Key{1, 2}},
+		Runs: []Run{
+			{Label: "base", Output: []hetsort.Key{1, 2}},
+			{Label: "pipeline", Output: []hetsort.Key{1, 3}},
+		},
+	}
+	err := inv.Check(o)
+	if err == nil {
+		t.Fatal("equivalence invariant accepted divergent outputs")
+	}
+	if !strings.Contains(err.Error(), "pipeline") {
+		t.Fatalf("violation does not name the divergent run: %v", err)
+	}
+}
+
+func TestBalanceInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "balance")
+	keys := make([]hetsort.Key, 100)
+	for i := range keys {
+		keys[i] = hetsort.Key(i)
+	}
+	c := &Case{Name: "synthetic", Keys: keys, Config: hetsort.Config{Nodes: 2}}
+	if inv.Applies != nil && !inv.Applies(c) {
+		t.Fatal("balance should apply to 100 distinct keys on 2 homogeneous nodes")
+	}
+	// One node holding everything violates 2*share+maxdup = 2*50+1.
+	rep := &hetsort.Report{PartitionSizes: []int64{200, 0}}
+	o := &Outcome{Case: c, Runs: []Run{{Label: "base", Config: c.Config, Output: keys, Report: rep}}}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("balance invariant accepted a partition of 2x+ the share")
+	}
+	// The boundary itself is legal.
+	rep.PartitionSizes = []int64{101, 0}
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("balance invariant rejected the exact Theorem-1 bound: %v", err)
+	}
+}
+
+func TestStepIOInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "step-io")
+	keys := make([]hetsort.Key, 1000)
+	for i := range keys {
+		keys[i] = hetsort.Key(i)
+	}
+	cfg := hetsort.Config{Nodes: 2, BlockKeys: 16, MemoryKeys: 256, Tapes: 4}
+	c := &Case{Name: "synthetic", Keys: keys, Config: cfg}
+	rep := &hetsort.Report{PartitionSizes: []int64{500, 500}}
+	rep.StepIO[2] = []pdm.IOStats{{Reads: 1 << 30}, {}}
+	o := &Outcome{Case: c, Runs: []Run{{Label: "base", Config: cfg, Output: keys, Report: rep}}}
+	err := inv.Check(o)
+	if err == nil {
+		t.Fatal("step-io invariant accepted a billion-block partitioning pass")
+	}
+	if !strings.Contains(err.Error(), "3:partitioning") {
+		t.Fatalf("violation does not name the step: %v", err)
+	}
+	// Resumed runs are exempt: recovery redoes committed work.
+	o.Runs[0].Resumed = true
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("step-io invariant applied to a resumed run: %v", err)
+	}
+}
+
+func TestAttributionInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "attribution")
+	rep := &hetsort.Report{
+		NodeClocks:    []float64{10},
+		NodeBreakdown: []hetsort.TimeBreakdown{{Compute: 4, Disk: 4, Idle: 1}}, // sums to 9, clock 10
+	}
+	o := &Outcome{
+		Case: &Case{Name: "synthetic"},
+		Runs: []Run{{Label: "base", Report: rep}},
+	}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("attribution invariant accepted a 1s hole in the clock")
+	}
+	rep.NodeBreakdown[0].Network = 1
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("attribution invariant rejected an exact attribution: %v", err)
+	}
+	rep.NodeBreakdown[0] = hetsort.TimeBreakdown{Compute: 11, Idle: -1}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("attribution invariant accepted negative idle time")
+	}
+}
+
+func TestGenerateCaseDeterministic(t *testing.T) {
+	a := GenerateCase(42, false)
+	b := GenerateCase(42, false)
+	if a.Name != b.Name || len(a.Keys) != len(b.Keys) {
+		t.Fatalf("same seed produced different cases: %q (%d keys) vs %q (%d keys)",
+			a.Name, len(a.Keys), b.Name, len(b.Keys))
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatalf("same seed produced different keys at %d", i)
+		}
+	}
+	// Config contains slices; compare the rendered literal instead.
+	if configLiteral(a.Config) != configLiteral(b.Config) {
+		t.Fatalf("same seed produced different configs:\n%s\n%s",
+			configLiteral(a.Config), configLiteral(b.Config))
+	}
+}
+
+func TestCrashResumeVariant(t *testing.T) {
+	keys := make([]hetsort.Key, 3000)
+	for i := range keys {
+		keys[i] = hetsort.Key(2654435761 * uint32(i))
+	}
+	c := &Case{
+		Name: "crash-resume",
+		Seed: 7,
+		Keys: keys,
+		Config: hetsort.Config{
+			Perf: []int{1, 2}, BlockKeys: 16, MemoryKeys: 512, Tapes: 4, MessageKeys: 64,
+		},
+	}
+	o := Execute(c, RunOptions{Scratch: t.TempDir()})
+	var crash *Run
+	for i := range o.Runs {
+		if o.Runs[i].Resumed {
+			crash = &o.Runs[i]
+		}
+	}
+	if crash == nil {
+		t.Fatal("no crash/resume run executed despite a scratch directory")
+	}
+	if crash.Err != nil {
+		t.Fatalf("crash/resume run failed: %v", crash.Err)
+	}
+	if !equalKeys(crash.Output, o.Runs[0].Output) {
+		t.Fatalf("resumed output differs from base at index %d", firstDiff(crash.Output, o.Runs[0].Output))
+	}
+}
+
+func TestShrinkProducesMinimalRepro(t *testing.T) {
+	// A config-level bug: Loads below 1 is rejected at cluster
+	// construction, so every run errors.  The shrinker should strip all
+	// keys (the failure does not depend on them) and keep the Loads
+	// axis (zeroing it makes the case pass).
+	keys := make([]hetsort.Key, 64)
+	for i := range keys {
+		keys[i] = hetsort.Key(i * 3)
+	}
+	c := &Case{
+		Name: "bad-loads",
+		Keys: keys,
+		Config: hetsort.Config{
+			Nodes: 2, Loads: []float64{0.5, 1.0},
+			BlockKeys: 16, MemoryKeys: 256, Tapes: 4,
+			Pipeline: true, // irrelevant axis the shrinker should drop
+		},
+	}
+	fails := Check(c, RunOptions{}, "error")
+	if len(fails) == 0 {
+		t.Fatal("invalid Loads did not fail the error invariant")
+	}
+	shrunk := Shrink(c, "error", RunOptions{}, 0)
+	if len(shrunk.Keys) != 0 {
+		t.Errorf("shrinker kept %d keys for a key-independent failure", len(shrunk.Keys))
+	}
+	if shrunk.Config.Loads == nil {
+		t.Error("shrinker dropped the Loads axis that causes the failure")
+	}
+	if shrunk.Config.Pipeline {
+		t.Error("shrinker kept the irrelevant Pipeline axis")
+	}
+	if re := Check(shrunk, RunOptions{}, "error"); len(re) == 0 {
+		t.Fatal("shrunk case no longer fails")
+	}
+	repro := Repro(shrunk, "error", fails[0].Err)
+	for _, want := range []string{"check.Recheck", "Loads:", "\"error\""} {
+		if !strings.Contains(repro, want) {
+			t.Errorf("repro missing %q:\n%s", want, repro)
+		}
+	}
+}
+
+func TestCornerCasesPass(t *testing.T) {
+	for _, c := range CornerCases(true) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, f := range Check(c, RunOptions{}, "") {
+				t.Error(f)
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsort"
+	"hetsort/internal/pdm"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// Invariant is one machine-checked contract evaluated against every
+// harness outcome.
+type Invariant struct {
+	// Name is the stable identifier (-invariant filters match on it).
+	Name string
+	// Doc is the one-line contract statement.
+	Doc string
+	// Applies reports whether the invariant is meaningful for the case
+	// (nil = always).  Non-applicable invariants are skipped, not
+	// counted as passes.
+	Applies func(*Case) bool
+	// Check evaluates the invariant over the outcome.
+	Check func(*Outcome) error
+}
+
+// ioSlack is the additive margin (in block transfers) every step budget
+// grants for partial tail blocks, tape bookkeeping and collective
+// metadata.  It keeps the budgets meaningful — a step that regresses to
+// an extra pass over the data blows through it immediately — without
+// flagging legitimate rounding.
+const ioSlack = 48
+
+// Registry returns the full invariant registry in evaluation order.
+func Registry() []Invariant {
+	return []Invariant{
+		{
+			Name: "error",
+			Doc:  "every run of the case completes without error",
+			Check: func(o *Outcome) error {
+				for i := range o.Runs {
+					if err := o.Runs[i].Err; err != nil {
+						return fmt.Errorf("run %q: %w", o.Runs[i].Label, err)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "sorted",
+			Doc:   "every run's output is non-decreasing",
+			Check: eachRun(checkSorted),
+		},
+		{
+			Name:  "permutation",
+			Doc:   "every run's output is a permutation of the input (multiset checksum)",
+			Check: eachRun(checkPermutation),
+		},
+		{
+			Name: "equivalence",
+			Doc:  "Pipeline, Overlap and checkpoint/crash-resume are execution strategies: all runs produce byte-identical output",
+			Check: func(o *Outcome) error {
+				base := &o.Runs[0]
+				if base.Err != nil {
+					return nil // the error invariant reports it
+				}
+				for i := 1; i < len(o.Runs); i++ {
+					r := &o.Runs[i]
+					if r.Err != nil {
+						continue
+					}
+					if !equalKeys(base.Output, r.Output) {
+						return fmt.Errorf("run %q output differs from %q: lengths %d vs %d, first diff at %d",
+							r.Label, base.Label, len(r.Output), len(base.Output), firstDiff(base.Output, r.Output))
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:    "balance",
+			Doc:     "Theorem 1: with regular sampling, node i's final partition holds at most 2*share_i keys (+ the worst duplicate multiplicity, which ties route to one node)",
+			Applies: appliesBalance,
+			Check:   eachRun(checkBalance),
+		},
+		{
+			Name:    "step-io",
+			Doc:     "each Algorithm-1 step stays within its PDM block-I/O budget (DESIGN.md step bounds, with a fixed documented slack)",
+			Applies: appliesPSRS,
+			Check:   eachRun(checkStepIO),
+		},
+		{
+			Name:  "attribution",
+			Doc:   "per node, compute+disk+network+idle virtual time sums exactly to the clock, and no category is negative",
+			Check: eachRun(checkAttribution),
+		},
+	}
+}
+
+// Select returns the invariants whose names match the comma-separated
+// filter (substring match; empty selects all).
+func Select(filter string) []Invariant {
+	all := Registry()
+	filter = strings.TrimSpace(filter)
+	if filter == "" {
+		return all
+	}
+	var toks []string
+	for _, t := range strings.Split(filter, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			toks = append(toks, t)
+		}
+	}
+	var out []Invariant
+	for _, inv := range all {
+		for _, t := range toks {
+			if strings.Contains(inv.Name, t) {
+				out = append(out, inv)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// eachRun lifts a per-run check over all non-errored runs of an
+// outcome, labelling failures with the run.
+func eachRun(check func(*Case, *Run) error) func(*Outcome) error {
+	return func(o *Outcome) error {
+		for i := range o.Runs {
+			r := &o.Runs[i]
+			if r.Err != nil {
+				continue
+			}
+			if err := check(o.Case, r); err != nil {
+				return fmt.Errorf("run %q: %w", r.Label, err)
+			}
+		}
+		return nil
+	}
+}
+
+func checkSorted(_ *Case, r *Run) error {
+	for i := 1; i < len(r.Output); i++ {
+		if r.Output[i] < r.Output[i-1] {
+			return fmt.Errorf("output[%d]=%d < output[%d]=%d", i, r.Output[i], i-1, r.Output[i-1])
+		}
+	}
+	return nil
+}
+
+func checkPermutation(c *Case, r *Run) error {
+	if len(r.Output) != len(c.Keys) {
+		return fmt.Errorf("output has %d keys, input %d", len(r.Output), len(c.Keys))
+	}
+	want := record.ChecksumOf(c.Keys)
+	got := record.ChecksumOf(r.Output)
+	if !got.Equal(want) {
+		return fmt.Errorf("output %v is not a permutation of input %v", got, want)
+	}
+	return nil
+}
+
+// appliesPSRS gates invariants that presume Algorithm 1's structure.
+func appliesPSRS(c *Case) bool {
+	return c.Config.Algorithm == "" || c.Config.Algorithm == hetsort.AlgorithmExternalPSRS
+}
+
+// appliesBalance gates the Theorem-1 bound to its hypotheses: external
+// PSRS with the regular-sampling pivot rule, on portions large enough
+// for the regular sample spacing to exist on every node (the paper's
+// operating regime; tiny portions fall back to exhaustive sampling,
+// where the bound is trivially tighter but the shares round away).
+func appliesBalance(c *Case) bool {
+	if !appliesPSRS(c) {
+		return false
+	}
+	if s := c.Config.PivotStrategy; s != "" && s != hetsort.PivotRegularSampling {
+		return false
+	}
+	v := vectorOf(c.Config)
+	shares := v.Shares(int64(len(c.Keys)))
+	for i, s := range shares {
+		if s/(int64(v[i])*int64(len(v))) < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkBalance(c *Case, r *Run) error {
+	if r.Report == nil {
+		return nil
+	}
+	v := vectorOf(r.Config)
+	shares := v.Shares(int64(len(c.Keys)))
+	mult := maxMultiplicity(c.Keys)
+	for i, got := range r.Report.PartitionSizes {
+		bound := 2*shares[i] + mult
+		if got > bound {
+			return fmt.Errorf("node %d holds %d keys > 2*share(%d)+maxdup(%d)=%d (Theorem 1 violated)",
+				i, got, shares[i], mult, bound)
+		}
+	}
+	return nil
+}
+
+// checkStepIO verifies each node's per-step PDM block transfers against
+// the DESIGN.md budgets.  Resumed runs are exempt: recovery legitimately
+// redoes committed work.
+func checkStepIO(c *Case, r *Run) error {
+	if r.Report == nil || r.Resumed {
+		return nil
+	}
+	cfg := withDefaults(r.Config)
+	v := vectorOf(cfg)
+	p := len(v)
+	n := int64(len(c.Keys))
+	shares := v.Shares(n)
+	pp := pdm.Params{N: maxInt64(n, 1), M: int64(cfg.MemoryKeys), B: int64(cfg.BlockKeys), D: 1, P: int64(p)}
+	for i := 0; i < p; i++ {
+		li, qi := shares[i], r.Report.PartitionSizes[i]
+		budgets := stepBudgets(pp, cfg, p, li, qi)
+		for s := 0; s < 5; s++ {
+			if len(r.Report.StepIO[s]) <= i {
+				continue
+			}
+			got := r.Report.StepIO[s][i].Total()
+			if got > budgets[s] {
+				return fmt.Errorf("node %d step %s: %d block transfers exceed budget %d (l_i=%d q_i=%d B=%d M=%d T=%d)",
+					i, stepName(s), got, budgets[s], li, qi, cfg.BlockKeys, cfg.MemoryKeys, cfg.Tapes)
+			}
+		}
+	}
+	return nil
+}
+
+// stepBudgets computes the five per-step block-transfer budgets for one
+// node holding l_i input keys and ending with q_i keys.  They restate
+// the paper's step costs (DESIGN.md §1) in checkable form:
+//
+//	step 1  2·(l_i/B)·(1+passes)      polyphase sort of the portion
+//	step 2  l_i/B + samples           pivot sampling (sketch = full scan)
+//	step 3  2·(l_i/B) + p             one split pass into p segments
+//	step 4  l_i/B + 2·(q_i/B) + 2p    send own segments, land received
+//	step 5  merge budget of q_i       p-file external merge (0 if fused)
+//
+// each plus ioSlack.  Polyphase passes are bounded with fan-in 2 — the
+// loosest tape count — so the budget is valid for every Tapes setting.
+func stepBudgets(pp pdm.Params, cfg hetsort.Config, p int, li, qi int64) [5]int64 {
+	lb := ceilDiv(li, pp.B)
+	qb := ceilDiv(qi, pp.B)
+	runs := ceilDiv(maxInt64(li, 1), int64(cfg.MemoryKeys))
+	passes := pdm.LogCeil(runs, 2)
+	var b [5]int64
+	b[0] = 2*lb*(2+passes) + ioSlack
+	b[1] = lb + int64(8*p*vectorOf(cfg).Max()) + ioSlack
+	b[2] = 2*lb + int64(p) + ioSlack
+	b[3] = lb + 2*qb + int64(2*p) + ioSlack
+	b[4] = pp.MergeIOs(qi, int64(p), int64(cfg.Tapes)) + ioSlack
+	return b
+}
+
+func checkAttribution(_ *Case, r *Run) error {
+	if r.Report == nil {
+		return nil
+	}
+	for i, tb := range r.Report.NodeBreakdown {
+		b := vtime.Breakdown{Compute: tb.Compute, Disk: tb.Disk, Network: tb.Network,
+			Idle: tb.Idle, Overlapped: tb.Overlapped}
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if err := vtime.CheckAttribution(r.Report.NodeClocks[i], b); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	for s := range r.Report.StepBreakdown {
+		for i, tb := range r.Report.StepBreakdown[s] {
+			b := vtime.Breakdown{Compute: tb.Compute, Disk: tb.Disk, Network: tb.Network,
+				Idle: tb.Idle, Overlapped: tb.Overlapped}
+			if err := b.Validate(); err != nil {
+				return fmt.Errorf("node %d step %s: %w", i, stepName(s), err)
+			}
+		}
+	}
+	return nil
+}
+
+// vectorOf resolves a config's perf vector the way hetsort.Sort does.
+func vectorOf(cfg hetsort.Config) perf.Vector {
+	if len(cfg.Perf) > 0 {
+		return perf.Vector(cfg.Perf)
+	}
+	n := cfg.Nodes
+	if n <= 0 {
+		n = 4
+	}
+	return perf.Homogeneous(n)
+}
+
+// withDefaults fills the machine parameters the way extsort does.
+func withDefaults(cfg hetsort.Config) hetsort.Config {
+	if cfg.BlockKeys <= 0 {
+		cfg.BlockKeys = 2048
+	}
+	if cfg.MemoryKeys <= 0 {
+		cfg.MemoryKeys = 1 << 16
+	}
+	if cfg.Tapes <= 0 {
+		cfg.Tapes = 15
+	}
+	if cfg.MessageKeys <= 0 {
+		cfg.MessageKeys = 8192
+	}
+	return cfg
+}
+
+// maxMultiplicity returns the count of the most frequent key (0 for an
+// empty input).  Keys equal to a pivot all land in one partition, so the
+// Theorem-1 bound relaxes by exactly this much under duplicates (the
+// paper's §3.1 duplicates discussion).
+func maxMultiplicity(keys []hetsort.Key) int64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	counts := make(map[hetsort.Key]int64, len(keys))
+	var most int64
+	for _, k := range keys {
+		counts[k]++
+		if counts[k] > most {
+			most = counts[k]
+		}
+	}
+	return most
+}
+
+func stepName(s int) string {
+	names := [5]string{"1:sequential-sort", "2:pivot-selection", "3:partitioning", "4:redistribution", "5:final-merge"}
+	return names[s]
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"hetsort/internal/diskio"
@@ -168,8 +169,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, errors.New("cluster: need at least one node")
 	}
 	for i, s := range cfg.Slowdowns {
-		if s < 1 {
-			return nil, fmt.Errorf("cluster: slowdown[%d]=%v must be >= 1", i, s)
+		// !(s >= 1) rather than s < 1: NaN compares false either way
+		// and must be rejected, not admitted.
+		if !(s >= 1) || math.IsInf(s, 1) {
+			return nil, fmt.Errorf("cluster: slowdown[%d]=%v must be a finite value >= 1", i, s)
 		}
 	}
 	if cfg.Net == (NetModel{}) {

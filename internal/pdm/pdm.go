@@ -111,6 +111,26 @@ func (p Params) PartitionIOs(q int64) int64 { return 2 * ceilDiv(q, p.B) }
 // the receiver side).
 func (p Params) RedistributionIOs(l int64) int64 { return 2 * ceilDiv(l, p.B) }
 
+// MergeIOs returns the step-5 budget for one node externally merging
+// fanin sorted files totaling q items with a t-tape merger: each pass
+// reads and writes every block once, and with fan-in t-1 per pass,
+// ceil(log_{t-1} fanin) passes suffice.  Partial tail blocks cost up to
+// one extra transfer per input file per pass, covered by the fanin term.
+func (p Params) MergeIOs(q, fanin, tapes int64) int64 {
+	if fanin <= 0 {
+		return 0
+	}
+	fan := tapes - 1
+	if fan < 2 {
+		fan = 2
+	}
+	passes := LogCeil(fanin, fan)
+	if passes < 1 {
+		passes = 1
+	}
+	return (2*ceilDiv(q, p.B) + fanin) * passes
+}
+
 // LogCeil returns ceil(log_base(x)) for x >= 1 and base >= 2, computed
 // with integer arithmetic to avoid float rounding surprises.
 func LogCeil(x, base int64) int64 {

@@ -172,6 +172,22 @@ func (v Vector) Shares(n int64) []int64 {
 	return out
 }
 
+// ValidateLoads checks a load (slowdown) vector: every entry must be a
+// finite float >= 1.  The condition is written as !(l >= 1) rather than
+// l < 1 so that NaN — for which every comparison is false — is rejected
+// instead of slipping through and poisoning every derived virtual time.
+func ValidateLoads(loads []float64) error {
+	if len(loads) == 0 {
+		return errors.New("perf: empty load vector")
+	}
+	for i, l := range loads {
+		if !(l >= 1) || math.IsInf(l, 1) {
+			return fmt.Errorf("perf: load[%d]=%v must be a finite value >= 1", i, l)
+		}
+	}
+	return nil
+}
+
 // Slowdowns converts the vector to per-node cost multipliers for the
 // simulator: the fastest class runs at factor 1, a node half as fast at
 // factor 2, etc.

@@ -158,6 +158,25 @@ func (b Breakdown) String() string {
 		b.Compute, b.Disk, b.Network, b.Idle, b.Overlapped)
 }
 
+// Validate checks that every category of the breakdown is non-negative
+// (within AttributionTolerance below zero, for accumulated float
+// error).  A negative category means a Sub pairing snapshotted
+// mismatched spans, or a meter double-credited hidden time.
+func (b Breakdown) Validate() error {
+	for _, c := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"compute", b.Compute}, {"disk", b.Disk}, {"network", b.Network},
+		{"idle", b.Idle}, {"overlapped", b.Overlapped},
+	} {
+		if c.v < -AttributionTolerance {
+			return fmt.Errorf("vtime: negative %s time %g in %v", c.name, c.v, b)
+		}
+	}
+	return nil
+}
+
 // AttributionTolerance bounds the float drift the invariant check
 // accepts between a clock and its attribution: the clock and the four
 // category accumulators add the same charges in different groupings, so

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"hetsort/internal/perf"
 )
 
 // ParsePerf parses a comma-separated perf vector such as "1,1,4,4".
@@ -25,7 +27,9 @@ func ParsePerf(s string) ([]int, error) {
 }
 
 // ParseLoads parses a comma-separated load vector such as "4,4,1,1".
-// Entries must be >= 1.
+// Entries must be finite and >= 1 — NaN and ±Inf are rejected (a `v < 1`
+// test alone would let NaN through, since every NaN comparison is
+// false, and a non-finite load poisons every virtual clock downstream).
 func ParseLoads(s string) ([]float64, error) {
 	parts := strings.Split(s, ",")
 	out := make([]float64, 0, len(parts))
@@ -34,10 +38,10 @@ func ParseLoads(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hetsort: bad load %q: %w", p, err)
 		}
-		if v < 1 {
-			return nil, fmt.Errorf("hetsort: load %v must be >= 1", v)
-		}
 		out = append(out, v)
+	}
+	if err := perf.ValidateLoads(out); err != nil {
+		return nil, fmt.Errorf("hetsort: %w", err)
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"hetsort/internal/cluster"
 	"hetsort/internal/extsort"
+	"hetsort/internal/pdm"
 	"hetsort/internal/perf"
 	"hetsort/internal/sampling"
 	"hetsort/internal/trace"
@@ -64,6 +65,13 @@ type Report struct {
 	// ReadBlocks and WriteBlocks total the PDM block transfers over
 	// all nodes.
 	ReadBlocks, WriteBlocks int64
+	// NodeIO is each node's total PDM I/O (block transfers and seeks).
+	NodeIO []pdm.IOStats
+	// StepIO[s][i] is node i's PDM I/O during step s of Algorithm 1
+	// (empty per-node entries for algorithms without a step structure).
+	// Checkpoint-manifest and setup I/O is attributed to no step, so
+	// the step cells sum to at most NodeIO.
+	StepIO [5][]pdm.IOStats
 	// NodeClocks is each node's final virtual clock.
 	NodeClocks []float64
 	// Perf echoes the vector the run used.
@@ -121,6 +129,10 @@ func newReport(res *extsort.Result, v perf.Vector) *Report {
 	for _, io := range res.NodeIO {
 		r.ReadBlocks += io.Reads
 		r.WriteBlocks += io.Writes
+	}
+	r.NodeIO = append([]pdm.IOStats(nil), res.NodeIO...)
+	for s := range res.StepIO {
+		r.StepIO[s] = append([]pdm.IOStats(nil), res.StepIO[s]...)
 	}
 	if len(res.NodeAttr) > 0 {
 		r.NodeBreakdown = make([]TimeBreakdown, len(res.NodeAttr))
