@@ -51,8 +51,10 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for node disks with durable phase checkpoints (implies -workdir)")
 		resume   = flag.Bool("resume", false, "resume an interrupted checkpointed run from -checkpoint-dir")
 		crash    = flag.String("crash", "", "inject a crash for testing, as node:phase (e.g. 2:4)")
+		jsonFlag = flag.Bool("json", false, "print a machine-readable JSON result object (errors included) to stdout")
 	)
 	flag.Parse()
+	jsonMode = *jsonFlag
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)
@@ -127,14 +129,21 @@ func main() {
 	}
 	if err != nil {
 		if hetsort.IsCrash(err) {
-			fmt.Fprintf(os.Stderr, "hetsort: %v\nhetsort: checkpoints are intact; rerun with -resume -checkpoint-dir %s to continue\n", err, *ckptDir)
+			if jsonMode {
+				os.Stdout.Write(resultJSON(nil, err, *ckptDir))
+			} else {
+				fmt.Fprintf(os.Stderr, "hetsort: %v\nhetsort: checkpoints are intact; rerun with -resume -checkpoint-dir %s to continue\n", err, *ckptDir)
+			}
 			os.Exit(1)
 		}
 		fatal(err)
 	}
-	if *verbose {
+	switch {
+	case jsonMode:
+		os.Stdout.Write(resultJSON(rep, nil, ""))
+	case *verbose:
 		fmt.Print(rep.String())
-	} else {
+	default:
 		fmt.Printf("sorted in %.3f virtual s; S(max)=%.4f; partitions=%v\n",
 			rep.Time, rep.SublistExpansion, rep.PartitionSizes)
 	}
@@ -230,7 +239,56 @@ func generate(path string, n int64, distName string, seed int64, parts int) erro
 	return f.Close()
 }
 
+// jsonMode mirrors the -json flag for the error paths: with it set,
+// failures print the same machine-readable error object the hetsortd
+// API returns, to stdout, and the exit code is the only other signal.
+var jsonMode bool
+
+// cliResult is the -json output object.  On failure it carries the
+// error string (the hetsortd API's {"error": ...} shape, plus the crash
+// and resume fields a batch driver needs to orchestrate recovery).
+type cliResult struct {
+	OK         bool      `json:"ok"`
+	Error      string    `json:"error,omitempty"`
+	Crash      bool      `json:"crash,omitempty"`
+	ResumeHint string    `json:"resume_hint,omitempty"`
+	Time       float64   `json:"time,omitempty"`
+	Expansion  float64   `json:"expansion,omitempty"`
+	Partitions []int64   `json:"partitions,omitempty"`
+	NodeClocks []float64 `json:"node_clocks,omitempty"`
+}
+
+// resultJSON renders the -json object for a finished (rep) or failed
+// (err) run; ckptDir fills the resume hint for recoverable crashes.
+func resultJSON(rep *hetsort.Report, err error, ckptDir string) []byte {
+	var r cliResult
+	if err != nil {
+		r.Error = err.Error()
+		if hetsort.IsCrash(err) {
+			r.Crash = true
+			if ckptDir != "" {
+				r.ResumeHint = fmt.Sprintf("hetsort -resume -checkpoint-dir %s", ckptDir)
+			}
+		}
+	} else {
+		r.OK = true
+		r.Time = rep.Time
+		r.Expansion = rep.SublistExpansion
+		r.Partitions = rep.PartitionSizes
+		r.NodeClocks = rep.NodeClocks
+	}
+	out, merr := json.Marshal(&r)
+	if merr != nil { // cliResult always marshals; belt and braces
+		out = []byte(fmt.Sprintf(`{"ok":false,"error":%q}`, merr))
+	}
+	return append(out, '\n')
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hetsort:", err)
+	if jsonMode {
+		os.Stdout.Write(resultJSON(nil, err, ""))
+	} else {
+		fmt.Fprintln(os.Stderr, "hetsort:", err)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"hetsort"
+)
+
+func TestResultJSONFailure(t *testing.T) {
+	out := resultJSON(nil, errors.New("input file truncated"), "")
+	var r cliResult
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	if r.OK || r.Error != "input file truncated" || r.Crash {
+		t.Fatalf("failure object: %+v", r)
+	}
+}
+
+func TestResultJSONCrashCarriesResumeHint(t *testing.T) {
+	// A genuine injected crash from a checkpointed run must be marked
+	// recoverable, with the exact resume command.
+	_, _, err := hetsort.Sort(make([]hetsort.Key, 2000), hetsort.Config{
+		MemoryKeys: 1024, Tapes: 4, BlockKeys: 64, MessageKeys: 128,
+		Checkpoint: hetsort.CheckpointConfig{Enabled: true, CrashNode: 1, CrashPhase: 3},
+	})
+	if err == nil || !hetsort.IsCrash(err) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+	var r cliResult
+	if uerr := json.Unmarshal(resultJSON(nil, err, "/ckpt"), &r); uerr != nil {
+		t.Fatal(uerr)
+	}
+	if r.OK || !r.Crash || r.ResumeHint != "hetsort -resume -checkpoint-dir /ckpt" {
+		t.Fatalf("crash object: %+v", r)
+	}
+}
+
+func TestResultJSONSuccess(t *testing.T) {
+	keys := make([]hetsort.Key, 2000)
+	for i := range keys {
+		keys[i] = hetsort.Key(len(keys) - i)
+	}
+	_, rep, err := hetsort.Sort(keys, hetsort.Config{
+		MemoryKeys: 1024, Tapes: 4, BlockKeys: 64, MessageKeys: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r cliResult
+	if uerr := json.Unmarshal(resultJSON(rep, nil, ""), &r); uerr != nil {
+		t.Fatal(uerr)
+	}
+	if !r.OK || r.Error != "" || r.Time != rep.Time || len(r.Partitions) != 4 {
+		t.Fatalf("success object: %+v", r)
+	}
+}

@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"hetsort/internal/diskio"
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+)
+
+func merkleManifest(t *testing.T) (*Manifest, diskio.FS) {
+	t.Helper()
+	fs := diskio.NewMemFS()
+	if err := diskio.WriteFile(fs, "output", []record.Key{1, 2, 3}, 4, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskio.WriteFile(fs, "part", []record.Key{9}, 4, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{
+		Node: 0, P: 1, Phase: Phases, Sig: "s",
+		Files: []FileInfo{{Name: "output", Keys: 3}, {Name: "part", Keys: 1}},
+	}
+	if err := m.Merkleize(fs, 4, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	return m, fs
+}
+
+func TestMerkleizeAnchorsFiles(t *testing.T) {
+	m, fs := merkleManifest(t)
+	if m.Root == "" || len(m.Root) != 64 {
+		t.Fatalf("root %q", m.Root)
+	}
+	for _, fi := range m.Files {
+		if len(fi.SHA256) != 64 {
+			t.Fatalf("file %s hash %q", fi.Name, fi.SHA256)
+		}
+	}
+	// The anchored manifest round-trips and validates end to end.
+	if err := Save(fs, m, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root != m.Root {
+		t.Fatalf("root %s after reload, want %s", got.Root, m.Root)
+	}
+	if err := got.Validate(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsContentTampering(t *testing.T) {
+	m, fs := merkleManifest(t)
+	// Same length, different content: the key-count check cannot see
+	// it, the content hash must.
+	if err := diskio.WriteFile(fs, "output", []record.Key{1, 2, 4}, 4, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Validate(fs)
+	if err == nil || !strings.Contains(err.Error(), "content hash") {
+		t.Fatalf("tampered content: %v", err)
+	}
+}
+
+func TestVerifyRootDetectsLeafSwap(t *testing.T) {
+	m, _ := merkleManifest(t)
+	// Swapping two files' recorded hashes must break the root: the
+	// leaves bind name to content.
+	m.Files[0].SHA256, m.Files[1].SHA256 = m.Files[1].SHA256, m.Files[0].SHA256
+	if err := m.VerifyRoot(); err == nil {
+		t.Fatal("leaf swap accepted")
+	}
+}
+
+func TestVerifyRootSkipsUnanchored(t *testing.T) {
+	m := &Manifest{Files: []FileInfo{{Name: "f", Keys: 1}}}
+	if err := m.VerifyRoot(); err != nil {
+		t.Fatalf("unanchored manifest: %v", err)
+	}
+}
+
+func TestHashFileChargesReads(t *testing.T) {
+	fs := diskio.NewMemFS()
+	keys := make([]record.Key, 100)
+	if err := diskio.WriteFile(fs, "f", keys, 8, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	var c pdm.Counter
+	if _, err := HashFile(fs, "f", 8, diskio.Accounting{Counter: &c}); err != nil {
+		t.Fatal(err)
+	}
+	// 100 keys at 8 keys/block: hashing bills its read pass.
+	if got := c.Snapshot().Reads; got < 13 {
+		t.Fatalf("hashing charged %d reads", got)
+	}
+}
+
+func TestHashFileDeterministic(t *testing.T) {
+	fs := diskio.NewMemFS()
+	if err := diskio.WriteFile(fs, "f", []record.Key{5, 6, 7}, 4, diskio.Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := HashFile(fs, "f", 4, diskio.Accounting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashFile(fs, "f", 1, diskio.Accounting{}) // block size must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("hash depends on block size: %s vs %s", a, b)
+	}
+}

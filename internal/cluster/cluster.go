@@ -47,6 +47,17 @@ type Config struct {
 	// PDM complexity measure) is unchanged.  Default 1, the paper's
 	// configuration ("we have one disk attached per processor").
 	DisksPerNode int
+	// Contention, when non-nil, is sampled on every disk and network
+	// charge and multiplies the virtual time by the returned factor
+	// (values below 1, NaN, or Inf are treated as 1).  The hetsortd
+	// service shares one simulated machine between tenant jobs this
+	// way: with k jobs running, each sees its disk transfers, seeks and
+	// link occupancy stretched by k — fair time-slicing of the shared
+	// drives and links.  Message latency (the wire's propagation delay)
+	// is not stretched, and data is never touched: contention is purely
+	// a virtual-time effect, so outputs stay byte-identical at any
+	// multiprogramming level.  nil means a dedicated machine.
+	Contention func() float64
 	// LinkBuffer is the per-link message queue capacity (default 4096
 	// messages).  The sorts' send-all-then-receive-all exchange can
 	// queue a whole segment per link, so a sort must grow the queues
@@ -74,8 +85,25 @@ type Cluster struct {
 	// per-message allocation of the redistribution exchange.
 	payloads sync.Pool
 
+	abortMu   sync.Mutex    // guards abort/abortOnce against Interrupt
 	abort     chan struct{} // closed when any node fails during Run
 	abortOnce *sync.Once
+}
+
+// Interrupt aborts a Run in progress from outside the node goroutines:
+// every node blocked in a receive, collective or barrier returns an
+// error, exactly as if a peer had failed.  Interruption is best-effort
+// — a node deep in a compute or disk phase notices only at its next
+// blocking receive.  Safe to call concurrently with Run; a no-op when
+// no Run is active.  The hetsortd service uses it to cancel running
+// jobs and to shut down.
+func (c *Cluster) Interrupt() {
+	c.abortMu.Lock()
+	defer c.abortMu.Unlock()
+	if c.abort == nil || c.abortOnce == nil {
+		return
+	}
+	c.abortOnce.Do(func() { close(c.abort) })
 }
 
 // LinkBound returns the per-link queue capacity a send-all-then-
@@ -211,6 +239,7 @@ func New(cfg Config) (*Cluster, error) {
 			block:    cfg.BlockKeys,
 			disks:    cfg.DisksPerNode,
 			fs:       cfg.Disks(i),
+			contend:  cfg.Contention,
 			metrics:  metrics.NewRegistry(),
 		}
 		n.initMetricHandles(p)
@@ -259,8 +288,10 @@ func (c *Cluster) ResetClocks() {
 // readable afterwards.
 func (c *Cluster) Run(fn func(*Node) error) error {
 	errs := make([]error, len(c.nodes))
+	c.abortMu.Lock()
 	c.abort = make(chan struct{})
 	c.abortOnce = new(sync.Once)
+	c.abortMu.Unlock()
 	// Drain any messages a previous aborted run left in the links, so
 	// the cluster is reusable after a failure.
 	for i := range c.links {
@@ -316,6 +347,7 @@ type Node struct {
 	block    int
 	disks    int
 	fs       diskio.FS
+	contend  func() float64
 	clock    float64
 	counter  pdm.Counter
 
@@ -454,11 +486,25 @@ func (n *Node) ChargeCompute(ops int64) {
 	n.ChargeTime(vtime.Compute, sec)
 }
 
+// contention samples the cluster's tenancy factor (1 when dedicated or
+// when the hook returns a degenerate value).
+func (n *Node) contention() float64 {
+	if n.contend == nil {
+		return 1
+	}
+	f := n.contend()
+	if !(f >= 1) || math.IsInf(f, 1) { // NaN compares false: treated as 1
+		return 1
+	}
+	return f
+}
+
 // blockSec is the virtual transfer time of one block on this node's
 // drive array (the D disks transfer one block in 1/D of the single-disk
-// time, the PDM's parallel I/O step).
+// time, the PDM's parallel I/O step), stretched by the tenancy
+// contention factor when the machine is shared.
 func (n *Node) blockSec() float64 {
-	return float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown / float64(n.disks)
+	return float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown * n.contention() / float64(n.disks)
 }
 
 // BeginOverlap implements vtime.OverlapMeter: it opens an overlap window
@@ -522,7 +568,7 @@ func (n *Node) ChargeIOBlocks(blocks int64) {
 
 // ChargeSeek implements vtime.Meter.
 func (n *Node) ChargeSeek(seeks int64) {
-	n.ChargeTime(vtime.Disk, float64(seeks)*n.cost.SeekSec*n.slowdown)
+	n.ChargeTime(vtime.Disk, float64(seeks)*n.cost.SeekSec*n.slowdown*n.contention())
 }
 
 // ObserveMerge implements polyphase's merge-kernel observer: the loser
@@ -607,12 +653,16 @@ func (n *Node) send(to, tag int, keys []record.Key, copyPayload bool) error {
 		// plus the transmit occupancy; the wire adds another latency
 		// before arrival.  This is what makes tiny messages expensive
 		// and reproduces the paper's 8-int vs 8K-int packet finding.
+		// Under tenancy contention the shared link's effective
+		// bandwidth (and per-message software processing) divides among
+		// the running jobs, so occupancy stretches; the wire's
+		// propagation delay does not.
 		bytes := int64(len(keys)) * record.KeySize
 		occupancy := n.cluster.net.LatencySec
 		if n.cluster.net.BytesPerSec > 0 {
 			occupancy += float64(bytes) / n.cluster.net.BytesPerSec
 		}
-		n.ChargeTime(vtime.Network, occupancy)
+		n.ChargeTime(vtime.Network, occupancy*n.contention())
 		arrival = n.clock + n.cluster.net.LatencySec
 	}
 	select {
@@ -666,8 +716,8 @@ func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
 		n.ChargeTime(vtime.Idle, msg.arrival-n.clock)
 	}
 	if msg.remote {
-		// Receive-side protocol processing.
-		n.ChargeTime(vtime.Network, n.cluster.net.LatencySec)
+		// Receive-side protocol processing (shared with co-tenants).
+		n.ChargeTime(vtime.Network, n.cluster.net.LatencySec*n.contention())
 	}
 	n.mRecvMsgs.Inc()
 	n.mRecvKeys.Add(int64(len(msg.keys)))

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// TestContentionStretchesDiskAndNetwork pins the tenancy model: a fixed
+// factor k multiplies block transfer time, seek time, send occupancy
+// and receive-side processing — but not compute, not the wire's
+// propagation delay, and never the data.
+func TestContentionStretchesDiskAndNetwork(t *testing.T) {
+	run := func(factor func() float64) (clock float64, attr vtime.Breakdown, payload []record.Key) {
+		c, err := New(Config{Slowdowns: []float64{1, 1}, Contention: factor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Run(func(n *Node) error {
+			if n.ID() == 0 {
+				n.ChargeIOBlocks(10)
+				n.ChargeSeek(4)
+				n.ChargeCompute(1000)
+				return n.Send(1, 7, []record.Key{3, 1, 2})
+			}
+			var rerr error
+			payload, rerr = n.Recv(0, 7)
+			return rerr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Node(0).Clock(), c.Node(0).Attribution(), payload
+	}
+
+	base, battr, bkeys := run(nil)
+	cont, cattr, ckeys := run(func() float64 { return 3 })
+
+	// Disk: blocks and seeks stretch exactly 3×.
+	if got, want := cattr.Disk, 3*battr.Disk; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("contended disk %.9f, want %.9f", got, want)
+	}
+	// Network occupancy on the sender stretches 3×.
+	if got, want := cattr.Network, 3*battr.Network; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("contended network %.9f, want %.9f", got, want)
+	}
+	// Compute is the tenant's own CPU: untouched.
+	if cattr.Compute != battr.Compute {
+		t.Fatalf("contended compute %.9f != %.9f", cattr.Compute, battr.Compute)
+	}
+	if cont <= base {
+		t.Fatalf("contended clock %.9f not above dedicated %.9f", cont, base)
+	}
+	// Attribution still sums to the clock under contention.
+	if err := vtime.CheckAttribution(cont, cattr); err != nil {
+		t.Fatal(err)
+	}
+	// Data is untouched at any factor.
+	if len(bkeys) != 3 || len(ckeys) != 3 || bkeys[0] != ckeys[0] || bkeys[2] != ckeys[2] {
+		t.Fatalf("payloads differ: %v vs %v", bkeys, ckeys)
+	}
+}
+
+// TestContentionDegenerateFactors: factors below 1, NaN and +Inf are
+// clamped to 1 (a misbehaving hook must not corrupt the clock).
+func TestContentionDegenerateFactors(t *testing.T) {
+	charge := func(factor func() float64) float64 {
+		c, err := New(Config{Slowdowns: []float64{1}, Contention: factor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(func(n *Node) error {
+			n.ChargeIOBlocks(5)
+			n.ChargeSeek(2)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Node(0).Clock()
+	}
+	base := charge(nil)
+	for name, f := range map[string]func() float64{
+		"half": func() float64 { return 0.5 },
+		"zero": func() float64 { return 0 },
+		"neg":  func() float64 { return -2 },
+		"nan":  func() float64 { return math.NaN() },
+		"inf":  func() float64 { return math.Inf(1) },
+	} {
+		if got := charge(f); got != base {
+			t.Errorf("%s factor: clock %.9f, want dedicated %.9f", name, got, base)
+		}
+	}
+}
+
+// TestInterruptAbortsRun: an external Interrupt unblocks a node stuck
+// in a receive, and the cluster is reusable afterwards.
+func TestInterruptAbortsRun(t *testing.T) {
+	c, err := New(Config{Slowdowns: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- c.Run(func(n *Node) error {
+			if n.ID() == 0 {
+				close(started)
+				_, rerr := n.Recv(1, 1) // node 1 never sends
+				return rerr
+			}
+			<-started
+			return nil
+		})
+	}()
+	<-started
+	c.Interrupt()
+	if err := <-errc; err == nil {
+		t.Fatal("interrupted run returned nil")
+	}
+	// Interrupt with no active run is a no-op...
+	var idle Cluster
+	idle.Interrupt()
+	// ...and the cluster still runs fine after an interrupt.
+	c.ClearCrashes()
+	if err := c.Run(func(n *Node) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -119,7 +119,14 @@ func (d *DirFS) Remove(name string) error {
 	return os.Remove(p)
 }
 
-// Rename implements FS.
+// Rename implements FS.  After the rename, the parent directory (and
+// the source's parent, when different) is fsynced: os.Rename alone only
+// updates the directory in the page cache, so a crash right after an
+// "atomic" manifest commit could lose the rename and resurrect the old
+// manifest — exactly the torn-commit window the durable-replace
+// protocol exists to close.  MemFS and the fault/retry wrappers need no
+// equivalent (nothing outlives the process there), so directory
+// durability is DirFS's job alone.
 func (d *DirFS) Rename(oldName, newName string) error {
 	op, err := d.path(oldName)
 	if err != nil {
@@ -134,7 +141,35 @@ func (d *DirFS) Rename(oldName, newName string) error {
 			return err
 		}
 	}
-	return os.Rename(op, np)
+	if err := os.Rename(op, np); err != nil {
+		return err
+	}
+	if err := SyncDir(filepath.Dir(np)); err != nil {
+		return err
+	}
+	if od := filepath.Dir(op); od != filepath.Dir(np) {
+		if err := SyncDir(od); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncDir makes directory-entry changes (a rename, create or remove)
+// durable by fsyncing the directory itself.  The storage backends and
+// DirFS.Rename call it after every atomic-replace; it is a hook
+// variable so tests can observe or stub the sync.
+var SyncDir = func(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("diskio: opening directory for sync: %w", err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("diskio: syncing directory %s: %w", dir, serr)
+	}
+	return cerr
 }
 
 // Names implements FS.

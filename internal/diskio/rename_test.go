@@ -3,6 +3,7 @@ package diskio
 import (
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"hetsort/internal/record"
@@ -112,5 +113,56 @@ func TestDirFSRenameRejectsEscape(t *testing.T) {
 	}
 	if err := d.Rename("../escape", "f"); err == nil {
 		t.Fatal("escaping source accepted")
+	}
+}
+
+func TestDirFSRenameSyncsParentDirs(t *testing.T) {
+	// Regression: an "atomic" manifest commit is only durable once the
+	// parent directory's entry change is fsynced — os.Rename alone can
+	// be lost on crash.  Rename must sync the destination's parent and,
+	// for cross-directory renames, the source's parent too.
+	orig := SyncDir
+	defer func() { SyncDir = orig }()
+	var synced []string
+	SyncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return nil
+	}
+
+	root := t.TempDir()
+	d, err := NewDirFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(d, "m.tmp", []record.Key{1}, 4, Accounting{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("m.tmp", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != root {
+		t.Fatalf("same-dir rename synced %v, want just [%s]", synced, root)
+	}
+
+	synced = nil
+	if err := d.Rename("m", "sub/m"); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 2 {
+		t.Fatalf("cross-dir rename synced %v, want destination and source parents", synced)
+	}
+	wantDst := filepath.Join(root, "sub")
+	if synced[0] != wantDst || synced[1] != root {
+		t.Fatalf("cross-dir rename synced %v, want [%s %s]", synced, wantDst, root)
+	}
+}
+
+func TestSyncDirDefaultWorks(t *testing.T) {
+	// The real hook must fsync an actual directory without error.
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("syncing a missing directory should fail")
 	}
 }

@@ -122,6 +122,15 @@ type Config struct {
 	// manifests so a resumed run can verify its final output (only
 	// meaningful with Checkpoint).
 	InputSum record.Checksum
+	// Merkle upgrades the final checkpoint manifest to a Merkle-anchored
+	// one: each node hashes the artifacts its phase-5 manifest depends on
+	// and records a Merkle root over them, so the run's outputs verify
+	// against one 32-byte value (hetsortd anchors every job this way).
+	// The hashing re-reads the output once, charged as phase-0 I/O.  Like
+	// Pipeline and Overlap it is an execution strategy excluded from the
+	// resume fingerprint — it changes no output byte.  Requires
+	// Checkpoint.
+	Merkle bool
 }
 
 // sig fingerprints the parameters that must match between an
@@ -400,7 +409,15 @@ func (w *worker) commit(phase int, files []checkpoint.FileInfo) error {
 	step := n.Counter().CurrentPhase()
 	n.Counter().SetPhase(0)
 	start := n.Clock()
-	err := checkpoint.Save(n.FS(), m, n.Acct())
+	var err error
+	if w.cfg.Merkle && phase == checkpoint.Phases {
+		// Anchor the finished run: hash the final manifest's artifact
+		// set and bind it under one Merkle root.
+		err = m.Merkleize(n.FS(), w.cfg.BlockKeys, n.Acct())
+	}
+	if err == nil {
+		err = checkpoint.Save(n.FS(), m, n.Acct())
+	}
 	n.Metrics().Histogram("checkpoint.commit.vsec").Observe(n.Clock() - start)
 	n.Counter().SetPhase(step)
 	if err != nil {

@@ -1,0 +1,88 @@
+package extsort
+
+import (
+	"testing"
+
+	"hetsort/internal/checkpoint"
+	"hetsort/internal/cluster"
+	"hetsort/internal/perf"
+	"hetsort/internal/record"
+)
+
+// TestMerkleRunAnchorsFinalManifests: with Merkle enabled, every node's
+// final checkpoint manifest carries per-file hashes and a root, and the
+// manifest validates against the disk contents.
+func TestMerkleRunAnchorsFinalManifests(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 13)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	cfg.Merkle = true
+	var err error
+	cfg.InputSum, err = DistributeInput(c, v, record.Uniform, n, 7, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(c, cfg, "input", "output"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.P(); i++ {
+		m, err := checkpoint.Load(c.Node(i).FS())
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if m.Phase != checkpoint.Phases {
+			t.Fatalf("node %d manifest at phase %d", i, m.Phase)
+		}
+		if m.Root == "" {
+			t.Fatalf("node %d manifest has no merkle root", i)
+		}
+		for _, fi := range m.Files {
+			if fi.SHA256 == "" {
+				t.Fatalf("node %d file %s unhashed", i, fi.Name)
+			}
+		}
+		if err := m.Validate(c.Node(i).FS()); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}
+
+// TestMerkleExcludedFromResumeSig: Merkle is an execution strategy, not
+// part of the plan identity — a run checkpointed without it can be
+// resumed with it on (and the resumed final manifest is then anchored).
+func TestMerkleExcludedFromResumeSig(t *testing.T) {
+	v := perf.Vector{1, 1, 4, 4}
+	n := v.NearestValidSize(1 << 13)
+	c := newCluster(t, v)
+	cfg := testConfig(v)
+	cfg.Checkpoint = true
+	var err error
+	cfg.InputSum, err = DistributeInput(c, v, record.Uniform, n, 7, cfg.BlockKeys, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScheduleCrash(1, -1, StepNames[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(c, cfg, "input", "output"); !cluster.IsCrash(err) {
+		t.Fatalf("injected crash did not surface: %v", err)
+	}
+	cfg.Merkle = true
+	if _, _, err := Resume(c, cfg, "input", "output"); err != nil {
+		t.Fatalf("resume with Merkle toggled on: %v", err)
+	}
+	if err := VerifyOutput(c, "output", cfg.BlockKeys, cfg.InputSum); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.P(); i++ {
+		m, err := checkpoint.Load(c.Node(i).FS())
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if m.Root == "" {
+			t.Fatalf("node %d final manifest unanchored after merkle resume", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func leaf(name, content string) Leaf {
+	return Leaf{Name: name, Sum: sha256.Sum256([]byte(content))}
+}
+
+func mustTree(t *testing.T, leaves []Leaf) *Tree {
+	t.Helper()
+	tr, err := New(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRootDeterministicAndOrderIndependent(t *testing.T) {
+	a := mustTree(t, []Leaf{leaf("a", "1"), leaf("b", "2"), leaf("c", "3")})
+	b := mustTree(t, []Leaf{leaf("c", "3"), leaf("a", "1"), leaf("b", "2")})
+	if a.Root() != b.Root() {
+		t.Fatal("root depends on input order")
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	base := mustTree(t, []Leaf{leaf("a", "1"), leaf("b", "2")}).Root()
+	cases := map[string]*Tree{
+		"content changed": mustTree(t, []Leaf{leaf("a", "1"), leaf("b", "2!")}),
+		"name changed":    mustTree(t, []Leaf{leaf("a", "1"), leaf("z", "2")}),
+		"leaf added":      mustTree(t, []Leaf{leaf("a", "1"), leaf("b", "2"), leaf("c", "3")}),
+		"leaf removed":    mustTree(t, []Leaf{leaf("a", "1")}),
+		"names swapped":   mustTree(t, []Leaf{leaf("a", "2"), leaf("b", "1")}),
+	}
+	for what, tr := range cases {
+		if tr.Root() == base {
+			t.Errorf("%s: root unchanged", what)
+		}
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	if _, err := New([]Leaf{leaf("a", "1"), leaf("a", "2")}); err == nil {
+		t.Fatal("duplicate leaf name accepted")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	e := mustTree(t, nil)
+	if e.Root() != EmptyRoot() {
+		t.Fatal("empty tree root != EmptyRoot")
+	}
+	s := mustTree(t, []Leaf{leaf("only", "x")})
+	if s.Root() != LeafHash(leaf("only", "x")) {
+		t.Fatal("single-leaf root should be the leaf hash")
+	}
+	if s.Root() == e.Root() {
+		t.Fatal("single-leaf root collides with empty root")
+	}
+}
+
+func TestLeafVsInteriorDomainSeparation(t *testing.T) {
+	// A two-leaf root must not equal any single leaf hash built from the
+	// concatenated children (tagLeaf vs tagNode prefixes).
+	l1, l2 := leaf("a", "1"), leaf("b", "2")
+	tr := mustTree(t, []Leaf{l1, l2})
+	h1, h2 := LeafHash(l1), LeafHash(l2)
+	var concat []byte
+	concat = append(concat, h1[:]...)
+	concat = append(concat, h2[:]...)
+	if tr.Root() == sha256.Sum256(concat) {
+		t.Fatal("interior hash lacks domain separation")
+	}
+}
+
+func TestProofsAllSizes(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		var leaves []Leaf
+		for i := 0; i < n; i++ {
+			leaves = append(leaves, leaf(fmt.Sprintf("f%03d", i), fmt.Sprintf("content-%d", i)))
+		}
+		tr := mustTree(t, leaves)
+		root := tr.Root()
+		for _, l := range leaves {
+			proof, err := tr.Proof(l.Name)
+			if err != nil {
+				t.Fatalf("n=%d proof(%s): %v", n, l.Name, err)
+			}
+			if !VerifyProof(root, l, proof) {
+				t.Fatalf("n=%d: valid proof for %s rejected", n, l.Name)
+			}
+			bad := l
+			bad.Sum[0] ^= 1
+			if VerifyProof(root, bad, proof) {
+				t.Fatalf("n=%d: corrupted leaf %s verified", n, l.Name)
+			}
+		}
+	}
+}
+
+func TestProofMissingLeaf(t *testing.T) {
+	tr := mustTree(t, []Leaf{leaf("a", "1")})
+	if _, err := tr.Proof("ghost"); err == nil {
+		t.Fatal("proof for missing leaf accepted")
+	}
+}

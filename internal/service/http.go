@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hetsort/internal/record"
+	"hetsort/internal/storage"
+)
+
+// apiError is the machine-readable error object every non-2xx response
+// carries (cmd/hetsort's -json flag emits the same shape for parity).
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// Handler returns the hetsortd HTTP API:
+//
+//	POST /jobs               submit a JobSpec, returns {"id": ...}
+//	GET  /jobs               list all job statuses
+//	GET  /jobs/{id}          one job's status (includes the Merkle root)
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//	GET  /jobs/{id}/result   the sorted output, concatenated, as bytes
+//	GET  /jobs/{id}/trace    the job's Chrome trace_event JSON (Perfetto)
+//	GET  /metrics            service counters, text exposition
+//	PUT  /objects/{name...}  upload an input object (names under inputs/)
+//	GET  /objects/{name...}  download any backend object
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("PUT /objects/{name...}", s.handlePutObject)
+	mux.HandleFunc("GET /objects/{name...}", s.handleGetObject)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	id, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrBudget):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", id, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(st.Keys*record.KeySize))
+	for i := range st.Partitions {
+		body, err := s.store.Get(fmt.Sprintf("jobs/%s/node%d/output", id, i))
+		if err != nil {
+			// Headers are gone; the short body tells the client.
+			return
+		}
+		if _, err := w.Write(body); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	body, err := s.store.Get(traceName(r.PathValue("id")))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running, queued := s.running, len(s.queue)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "hetsortd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "hetsortd_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "hetsortd_jobs_submitted_total %d\n", s.nSubmitted.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_done_total %d\n", s.nDone.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_failed_total %d\n", s.nFailed.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_canceled_total %d\n", s.nCanceled.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_rejected_queue_total %d\n", s.nRejectedQueue.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_rejected_budget_total %d\n", s.nRejectedBudget.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_recovered_total %d\n", s.nRecovered.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_resumed_total %d\n", s.nResumed.Load())
+	fmt.Fprintf(w, "hetsortd_jobs_resume_fallback_total %d\n", s.nResumedFallback.Load())
+}
+
+func (s *Service) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Uploads are confined to inputs/ so a client cannot clobber job
+	// artifacts (the Merkle anchor would catch it, but why allow it).
+	if !strings.HasPrefix(name, "inputs/") {
+		writeError(w, http.StatusForbidden, fmt.Errorf("uploads must be under inputs/, got %q", name))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Put(name, body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "bytes": len(body)})
+}
+
+func (s *Service) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	body, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrNotExist) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(body)
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"hetsort/internal/diskio"
+)
+
+// ErrInjected is the sentinel a Faulty backend returns once its
+// operation budget is exhausted.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Backend and fails object operations after a fixed
+// number of successful ones, mirroring diskio.FaultFS: by default every
+// operation past the budget fails forever (a dead object store);
+// FailCount > 0 selects the transient mode, where only the next
+// FailCount operations fail and the store then recovers — the model of
+// a flapping network path to the object store.
+//
+// Only the object API (Put/Get/Stat/List/Delete) is counted; the FS
+// view passes through untouched so the fault scope stays at the
+// storage-service boundary.  To fault the block layer too, wrap the
+// returned FS in diskio.FaultFS.
+type Faulty struct {
+	Inner Backend
+	// FailAfter is the number of object operations allowed before
+	// injection starts.  Zero fails immediately; negative never fails.
+	FailAfter int64
+	// FailCount, when positive, bounds the number of injected failures
+	// (transient fault); zero or negative fails forever.
+	FailCount int64
+
+	ops      atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFaulty wraps inner so that object operations start failing after n
+// successful ones (permanently; set FailCount for a transient fault).
+func NewFaulty(inner Backend, n int64) *Faulty {
+	return &Faulty{Inner: inner, FailAfter: n}
+}
+
+// Ops returns the number of object operations observed so far.
+func (f *Faulty) Ops() int64 { return f.ops.Load() }
+
+// Injected returns how many operations failed with an injected error.
+func (f *Faulty) Injected() int64 { return f.injected.Load() }
+
+func (f *Faulty) allow() error {
+	if f.FailAfter < 0 {
+		return nil
+	}
+	over := f.ops.Add(1) - f.FailAfter
+	if over <= 0 {
+		return nil
+	}
+	if f.FailCount > 0 && over > f.FailCount {
+		return nil // transient fault has passed
+	}
+	f.injected.Add(1)
+	return ErrInjected
+}
+
+// Put implements Backend.
+func (f *Faulty) Put(name string, data []byte) error {
+	if err := f.allow(); err != nil {
+		return err
+	}
+	return f.Inner.Put(name, data)
+}
+
+// Get implements Backend.
+func (f *Faulty) Get(name string) ([]byte, error) {
+	if err := f.allow(); err != nil {
+		return nil, err
+	}
+	return f.Inner.Get(name)
+}
+
+// Stat implements Backend.
+func (f *Faulty) Stat(name string) (int64, error) {
+	if err := f.allow(); err != nil {
+		return 0, err
+	}
+	return f.Inner.Stat(name)
+}
+
+// List implements Backend.
+func (f *Faulty) List(prefix string) ([]string, error) {
+	if err := f.allow(); err != nil {
+		return nil, err
+	}
+	return f.Inner.List(prefix)
+}
+
+// Delete implements Backend.
+func (f *Faulty) Delete(name string) error {
+	if err := f.allow(); err != nil {
+		return err
+	}
+	return f.Inner.Delete(name)
+}
+
+// FS implements Backend, passing through to the inner store.
+func (f *Faulty) FS(prefix string) (diskio.FS, error) {
+	return f.Inner.FS(prefix)
+}
