@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 
@@ -68,11 +69,24 @@ type JobSpec struct {
 	CrashPhase int `json:"crash_phase,omitempty"`
 }
 
+// satMul returns a·b for non-negative operands, saturating at MaxInt64
+// instead of wrapping — demand estimates must never overflow into a
+// small (or negative) value that slips past the admission budgets.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
 // inputBytes estimates the input size for admission (0 when unknown —
 // validate rejects those specs anyway).
 func (sp *JobSpec) inputBytes(store storage.Backend) int64 {
 	if sp.Gen != nil {
-		return sp.Gen.Count * record.KeySize
+		return satMul(sp.Gen.Count, record.KeySize)
 	}
 	if sp.Input != "" {
 		if n, err := store.Stat(sp.Input); err == nil {
@@ -82,7 +96,7 @@ func (sp *JobSpec) inputBytes(store storage.Backend) int64 {
 	return 0
 }
 
-func (sp *JobSpec) validate(store storage.Backend) error {
+func (sp *JobSpec) validate(store storage.Backend, m *MachineConfig) error {
 	switch {
 	case sp.Input == "" && sp.Gen == nil:
 		return errors.New("service: spec needs input or gen")
@@ -91,6 +105,14 @@ func (sp *JobSpec) validate(store storage.Backend) error {
 	case sp.Gen != nil:
 		if sp.Gen.Count <= 0 {
 			return errors.New("service: gen.count must be positive")
+		}
+		// Bound the count before anything multiplies by it or allocates
+		// for it: a job needs 4·count·KeySize disk, so counts past the
+		// machine's whole disk budget can never be admitted — reject
+		// them here instead of risking an overflowed demand estimate or
+		// an astronomical generation allocation later.
+		if maxKeys := m.DiskBytes / (4 * record.KeySize); sp.Gen.Count > maxKeys {
+			return fmt.Errorf("%w: gen.count %d exceeds the machine's capacity of %d keys", ErrBudget, sp.Gen.Count, maxKeys)
 		}
 		if sp.Gen.Dist != "" {
 			if _, err := record.ParseDistribution(sp.Gen.Dist); err != nil {
@@ -322,9 +344,16 @@ func (s *Service) execute(j *job) {
 	j.statusMu.Lock()
 	j.cl = nil
 	switch {
-	case err == nil:
+	case err == nil && !j.canceled:
 		j.status.State = StateDone
 		j.status.Error = ""
+	case err == nil:
+		// The cancel was acknowledged but its interrupt landed too late
+		// (or before the cluster entered Run, where Interrupt is a
+		// no-op) and the run completed anyway; honor the
+		// acknowledgement over the result.
+		j.status.State = StateCanceled
+		j.status.Error = "canceled"
 	case j.stopping && !j.canceled:
 		// Stop() interrupted the job: in memory it is failed, on the
 		// backend it stays "running" for the next daemon to resume.
@@ -360,8 +389,16 @@ func (s *Service) run(j *job) error {
 	j.cl = cl
 	j.status.State = StateRunning
 	resume := j.resume
+	canceled := j.canceled
 	st := j.status
 	j.statusMu.Unlock()
+	// A cancel that arrived before j.cl was installed had no cluster to
+	// interrupt — and one that arrives before the sort enters
+	// cluster.Run is a no-op there too.  Don't start work the tenant
+	// already abandoned.
+	if canceled {
+		return errors.New("service: canceled before start")
+	}
 	if err := saveStatus(s.store, &st); err != nil {
 		return err
 	}

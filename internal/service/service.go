@@ -219,15 +219,17 @@ func (s *Service) adopt(j *job, resume bool) {
 
 // demand estimates a job's machine footprint for admission: memory is
 // each node's sort workspace, disk is 4× the input (input + initial
-// runs + received segments + output).
+// runs + received segments + output).  Products saturate at MaxInt64 so
+// an absurd spec reads as an infinite demand, not an overflowed small
+// (or negative) one that slips past the budget check.
 func (s *Service) demand(spec *JobSpec) (mem, disk int64) {
 	p := len(s.cfg.Machine.Perf)
 	mk := spec.MemoryKeys
 	if mk <= 0 {
 		mk = 1 << 16
 	}
-	mem = int64(p) * int64(mk) * record.KeySize
-	disk = 4 * spec.inputBytes(s.store)
+	mem = satMul(satMul(int64(p), int64(mk)), record.KeySize)
+	disk = satMul(4, spec.inputBytes(s.store))
 	return mem, disk
 }
 
@@ -235,7 +237,10 @@ func (s *Service) demand(spec *JobSpec) (mem, disk int64) {
 // immediately when a running slot is free, otherwise waits in the
 // queue; ErrQueueFull and ErrBudget reject it outright.
 func (s *Service) Submit(spec JobSpec) (string, error) {
-	if err := spec.validate(s.store); err != nil {
+	if err := spec.validate(s.store, &s.cfg.Machine); err != nil {
+		if errors.Is(err, ErrBudget) {
+			s.nRejectedBudget.Add(1)
+		}
 		return "", err
 	}
 	mem, disk := s.demand(&spec)
@@ -248,7 +253,10 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		s.nRejectedQueue.Add(1)
 		return "", ErrQueueFull
 	}
-	if s.resMem+mem > s.cfg.Machine.MemoryBytes || s.resDisk+disk > s.cfg.Machine.DiskBytes {
+	// Compare against the remaining headroom (never negative: resMem and
+	// resDisk only hold admitted demands) so a saturated demand cannot
+	// overflow the sum back into range.
+	if mem > s.cfg.Machine.MemoryBytes-s.resMem || disk > s.cfg.Machine.DiskBytes-s.resDisk {
 		s.nRejectedBudget.Add(1)
 		return "", fmt.Errorf("%w: needs %d B memory / %d B disk, %d / %d available", ErrBudget,
 			mem, disk, s.cfg.Machine.MemoryBytes-s.resMem, s.cfg.Machine.DiskBytes-s.resDisk)
@@ -333,27 +341,40 @@ func (s *Service) Cancel(id string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("service: no job %s", id)
 	}
+	// Queue membership, not the status string, decides whether the job
+	// has an executor goroutine: finish() dequeues a promoted job before
+	// its goroutine flips the state to running, so a job can read as
+	// "queued" while an executor owns it — closing done here for such a
+	// job would collide with the executor's own close.
+	dequeued := false
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.resMem -= j.memBytes
+			s.resDisk -= j.diskBytes
+			dequeued = true
+			break
+		}
+	}
 	j.statusMu.Lock()
 	state := j.status.State
-	j.canceled = state == StateQueued || state == StateRunning
+	if state == StateQueued || state == StateRunning {
+		j.canceled = true
+	}
 	cl := j.cl
 	j.statusMu.Unlock()
-	if state == StateQueued {
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				s.resMem -= j.memBytes
-				s.resDisk -= j.diskBytes
-				break
-			}
-		}
+	if dequeued {
 		j.setState(StateCanceled, "canceled while queued")
 		saveStatus(s.store, j.Status())
 		s.nCanceled.Add(1)
 		close(j.done)
 	}
 	s.mu.Unlock()
-	if state == StateRunning && cl != nil {
+	// For jobs an executor owns the Interrupt is best-effort (it only
+	// lands while the cluster is inside Run); run() and execute() also
+	// check j.canceled directly, so a cancel the interrupt misses is
+	// still honored.
+	if !dequeued && cl != nil {
 		cl.Interrupt()
 	}
 	return nil
@@ -401,6 +422,15 @@ func (s *Service) Wait(id string) error {
 func (s *Service) Stop() {
 	s.mu.Lock()
 	s.closed = true
+	// Still-queued jobs have no executor goroutine to close their done
+	// channel: drain the queue and close them here so Wait returns.
+	// Durable status stays "queued" — the next daemon re-admits them.
+	queued := s.queue
+	s.queue = nil
+	for _, j := range queued {
+		s.resMem -= j.memBytes
+		s.resDisk -= j.diskBytes
+	}
 	var running []*cluster.Cluster
 	for _, j := range s.jobs {
 		j.statusMu.Lock()
@@ -411,6 +441,9 @@ func (s *Service) Stop() {
 		j.statusMu.Unlock()
 	}
 	s.mu.Unlock()
+	for _, j := range queued {
+		close(j.done)
+	}
 	for _, cl := range running {
 		cl.Interrupt()
 	}

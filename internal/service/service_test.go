@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hetsort/internal/record"
 	"hetsort/internal/storage"
@@ -196,6 +198,129 @@ func TestCancelQueuedJob(t *testing.T) {
 		t.Fatalf("first job: %s (%s)", st.State, st.Error)
 	}
 	s.Stop()
+}
+
+// TestCancelPromotionWindow pins the race between Cancel and job
+// promotion: finish() dequeues the next job and hands it to an executor
+// goroutine, but the in-memory state stays "queued" until run() flips
+// it.  A Cancel landing in that window must not close the job's done
+// channel (the executor closes it; a second close panics the daemon)
+// and must still take effect — the job ends canceled, not done.
+func TestCancelPromotionWindow(t *testing.T) {
+	s, err := New(testConfig(), storage.NewObject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build the window deterministically: a job that is in s.jobs
+	// with state "queued" but absent from s.queue, exactly as finish()
+	// leaves a promoted job before its goroutine starts.
+	spec := testSpec(2000, 1)
+	j := &job{
+		id:     "job-9999",
+		spec:   spec,
+		status: JobStatus{ID: "job-9999", State: StateQueued},
+		done:   make(chan struct{}),
+	}
+	if err := saveSpec(s.store, j.id, &spec); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.running++
+	s.mu.Unlock()
+	if err := s.Cancel(j.id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.done:
+		t.Fatal("Cancel closed the done channel of a job it did not dequeue")
+	default:
+	}
+	j.statusMu.Lock()
+	canceled := j.canceled
+	j.statusMu.Unlock()
+	if !canceled {
+		t.Fatal("Cancel did not flag the promoted job")
+	}
+	// The executor now starts; it must close done exactly once and land
+	// the job in canceled — not run it to done over the acknowledged
+	// cancel.
+	s.mu.Lock()
+	s.start(j)
+	s.mu.Unlock()
+	s.Wait(j.id)
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("promoted job after window cancel: %s", st)
+	}
+	if st, err := loadStatus(s.store, j.id); err != nil || st.State != StateCanceled {
+		t.Fatalf("durable state %+v (%v), want canceled", st, err)
+	}
+	s.Stop()
+}
+
+// TestSubmitHugeGenCount pins the admission overflow: a gen count large
+// enough that 4·count·KeySize wraps int64 must be rejected as over
+// budget, not admitted with a tiny overflowed demand and then OOM the
+// daemon at generation time.
+func TestSubmitHugeGenCount(t *testing.T) {
+	s, err := New(testConfig(), storage.NewObject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for _, count := range []int64{1 << 60, math.MaxInt64} {
+		if _, err := s.Submit(testSpec(count, 1)); !errors.Is(err, ErrBudget) {
+			t.Fatalf("gen.count %d: %v, want ErrBudget", count, err)
+		}
+	}
+}
+
+// TestStopClosesQueuedJobs pins the Stop/Wait deadlock: a job still
+// queued at Stop has no executor to close its done channel, so Stop
+// must close it itself — and a restarted daemon must still pick the job
+// up from its durable "queued" status and run it to done.
+func TestStopClosesQueuedJobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxJobs = 1
+	store := storage.NewObject()
+	s, err := New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit(testSpec(100_000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(testSpec(2000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	done := make(chan struct{})
+	go func() {
+		s.Wait(queued)
+		s.Wait(first)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait on a job blocked after Stop")
+	}
+	// Recovery: whatever Stop interrupted resumes, whatever stayed
+	// queued restarts fresh; every job ends done.
+	s2, err := New(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{first, queued} {
+		s2.Wait(id)
+		if st, _ := s2.Status(id); st.State != StateDone {
+			t.Fatalf("job %s after restart: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	s2.Stop()
 }
 
 // TestHTTPEndToEnd drives the whole API over a real HTTP server against
