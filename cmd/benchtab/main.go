@@ -11,7 +11,7 @@
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
 // figure1, distributions, ablations, checkpoint, pipeline, overlap,
-// attribution, all.
+// attribution, scaling, all.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
 // BENCH_pipeline.json, the overlap experiment (ablation A9: prefetch +
@@ -19,7 +19,12 @@
 // BENCH_overlap.json, and the attribution experiment — where each
 // node's virtual time went (compute/disk/network/idle) and the per-step
 // skew against the perf-vector prediction — writes
-// BENCH_attribution.json.  -cpuprofile/-memprofile write pprof profiles of
+// BENCH_attribution.json.  The scaling experiment sweeps the cluster
+// size p=4..1024 (capped by -maxp) across the flat, tree and grid
+// redistribution topologies, asserts byte-identical output at every
+// point, and writes BENCH_scaling.json (virtual time, peak open
+// streams, per-link queue high-water marks vs p).
+// -cpuprofile/-memprofile write pprof profiles of
 // the selected experiments, and every run ends with a host-side cost
 // table (wall clock, allocations, allocs per sorted key).
 package main
@@ -43,7 +48,8 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, scaling, all")
+		maxP    = flag.Int("maxp", 1024, "largest cluster size the scaling experiment sweeps to")
 		seed    = flag.Int64("seed", 1, "base input seed")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -204,6 +210,27 @@ func main() {
 		fmt.Println("wrote BENCH_overlap.json")
 		return nil
 	})
+	// Not part of "all": the p=1024 points simulate a thousand nodes and
+	// dominate the suite's wall clock.  Run explicitly, capping with -maxp.
+	if *which == "scaling" {
+		run("scaling", func() error {
+			rows, err := experiments.ScalingSweep(o, *maxP)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.ScalingString(rows))
+			if err := writeJSON("BENCH_scaling.json", struct {
+				Experiment string                   `json:"experiment"`
+				MaxP       int                      `json:"max_p"`
+				Rows       []experiments.ScalingRow `json:"rows"`
+			}{"scaling", *maxP, rows}); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_scaling.json")
+			return nil
+		})
+	}
+
 	run("attribution", func() error {
 		rep, err := experiments.RunAttribution(o)
 		if err != nil {

@@ -41,6 +41,8 @@ func main() {
 		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered)")
 		seed     = flag.Int64("seed", 1, "seed for -gen")
 		pipeline = flag.Bool("pipeline", false, "fuse steps 4+5: merge redistribution streams directly into the output")
+		topology = flag.String("topology", "flat", "redistribution topology: flat, tree, grid (tree/grid bound per-node fan-in at large p)")
+		radix    = flag.Int("radix", 0, "tree fan-in r for -topology tree (default 4)")
 		overlap  = flag.Bool("overlap", false, "overlap disk I/O with compute: prefetch reads, write-behind writes (same I/O counts, lower virtual time)")
 		verbose  = flag.Bool("v", false, "print the full per-step report")
 		withGant = flag.Bool("trace", false, "print a virtual-time Gantt chart of the run")
@@ -107,6 +109,8 @@ func main() {
 		Trace:       *withGant || *traceOut != "" || *evtsOut != "",
 		Pipeline:    *pipeline,
 		Overlap:     *overlap,
+		Topology:    *topology,
+		Radix:       *radix,
 	}
 	if *ckptDir != "" {
 		cfg.WorkDir = *ckptDir

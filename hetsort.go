@@ -81,6 +81,20 @@ const (
 	PivotQuantileSketch = "quantile-sketch"
 )
 
+// Topology names accepted by Config.Topology.
+const (
+	// TopologyFlat is Algorithm 1 as written: star collectives for the
+	// pivots and one all-to-all redistribution round (default).
+	TopologyFlat = "flat"
+	// TopologyTree aggregates pivot samples up a radix-r reduction tree
+	// and redistributes through ⌈log_r p⌉ rounds of r-way exchanges, so
+	// no node holds more than O(r) open streams — the structure that
+	// scales the cluster to p=1024.
+	TopologyTree = "tree"
+	// TopologyGrid is the 2-round √p×√p special case of the tree.
+	TopologyGrid = "grid"
+)
+
 // Config parameterises a sort.  The zero value is a valid homogeneous
 // 4-node configuration with the paper's parameters (8 KiB blocks, 15
 // intermediate files, 8K-integer messages, Fast Ethernet).
@@ -143,6 +157,17 @@ type Config struct {
 	// identical to the synchronous path; only virtual time changes.
 	// Only meaningful for AlgorithmExternalPSRS.
 	Overlap bool
+	// Topology selects the communication structure for pivot
+	// aggregation and redistribution: TopologyFlat (default),
+	// TopologyTree or TopologyGrid.  The hierarchical topologies keep
+	// every node's fan-in at O(Radix) per round instead of O(p), at the
+	// cost of ⌈log_r p⌉ redistribution rounds; output is byte-identical
+	// to flat except under PivotQuantileSketch, where per-node
+	// partition boundaries may shift (the global sorted sequence is
+	// identical either way).  Only meaningful for AlgorithmExternalPSRS.
+	Topology string
+	// Radix is the tree fan-in r (default 4); ignored for flat and grid.
+	Radix int
 	// Checkpoint controls the fault-tolerance subsystem.
 	Checkpoint CheckpointConfig
 }
@@ -285,6 +310,10 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 	if err != nil {
 		return extsort.Config{}, err
 	}
+	topo, err := extsort.ParseTopology(c.Topology)
+	if err != nil {
+		return extsort.Config{}, fmt.Errorf("hetsort: %w", err)
+	}
 	return extsort.Config{
 		Perf:         v,
 		BlockKeys:    c.blockKeys(),
@@ -297,6 +326,8 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 		Seed:         c.Seed,
 		Pipeline:     c.Pipeline,
 		Overlap:      c.Overlap,
+		Topology:     topo,
+		Radix:        c.Radix,
 	}, nil
 }
 

@@ -34,10 +34,10 @@ type Case struct {
 	Seed int64
 	// Keys is the input.
 	Keys []hetsort.Key
-	// Config is the base configuration.  Pipeline/Overlap/Checkpoint
-	// are equivalence axes: the runner executes the base run plus
-	// variants toggling them, and the equivalence invariant demands
-	// identical output from all of them.
+	// Config is the base configuration.  Pipeline, Overlap, Checkpoint
+	// and Topology are equivalence axes: the runner executes the base
+	// run plus variants toggling them, and the equivalence invariant
+	// demands identical output from all of them.
 	Config hetsort.Config
 }
 
@@ -45,7 +45,8 @@ type Case struct {
 // axes.
 type Run struct {
 	// Label names the axis point ("base", "pipeline", "overlap",
-	// "pipeline+overlap", "checkpoint", "crash@3+resume").
+	// "pipeline+overlap", "tree/r2", "grid", "checkpoint",
+	// "crash@3+resume").
 	Label string
 	// Config is the exact configuration the run used.
 	Config hetsort.Config
@@ -78,6 +79,9 @@ type RunOptions struct {
 	// where only the failing invariant needs to be reproduced, and by
 	// callers that filtered equivalence out).
 	NoVariants bool
+	// QuickTopology trims the topology equivalence variants to the
+	// cheap pair (tree radix 2 and grid) for PR-gate sweeps.
+	QuickTopology bool
 	// CrashPhase pins the injected crash phase for the resume variant
 	// (1..5); 0 derives one from the case seed.
 	CrashPhase int
@@ -107,6 +111,34 @@ func Execute(c *Case, opts RunOptions) *Outcome {
 			cfg := base
 			cfg.Pipeline, cfg.Overlap = v.pipeline, v.overlap
 			o.Runs = append(o.Runs, execute(v.label, c.Keys, cfg))
+		}
+		// Topology is an equivalence axis too: hierarchical pivot
+		// aggregation and multi-round redistribution must reproduce the
+		// flat output byte for byte.  A flat base fans out across the
+		// tree radixes and the grid; a hierarchical base gets the flat
+		// reference run instead.
+		if flatTopology(base) {
+			topos := []struct {
+				label, topo string
+				radix       int
+			}{
+				{"tree/r2", hetsort.TopologyTree, 2},
+				{"grid", hetsort.TopologyGrid, 0},
+				{"tree/r4", hetsort.TopologyTree, 4},
+				{"tree/r16", hetsort.TopologyTree, 16},
+			}
+			if opts.QuickTopology {
+				topos = topos[:2]
+			}
+			for _, tv := range topos {
+				cfg := base
+				cfg.Topology, cfg.Radix = tv.topo, tv.radix
+				o.Runs = append(o.Runs, execute(tv.label, c.Keys, cfg))
+			}
+		} else {
+			cfg := base
+			cfg.Topology, cfg.Radix = hetsort.TopologyFlat, 0
+			o.Runs = append(o.Runs, execute("flat", c.Keys, cfg))
 		}
 		if !base.Checkpoint.Enabled {
 			cfg := base
@@ -231,6 +263,12 @@ func selected(invs []Invariant, name string) bool {
 		}
 	}
 	return false
+}
+
+// flatTopology reports whether a config runs the flat single-round
+// redistribution (the default).
+func flatTopology(cfg hetsort.Config) bool {
+	return cfg.Topology == "" || cfg.Topology == hetsort.TopologyFlat
 }
 
 // nodes returns the cluster size a config resolves to.

@@ -130,6 +130,75 @@ func TestStepIOInvariantTeeth(t *testing.T) {
 	if err := inv.Check(o); err != nil {
 		t.Fatalf("step-io invariant applied to a resumed run: %v", err)
 	}
+	// Hierarchical runs are exempt too: multi-round redistribution
+	// legitimately spends extra disk passes over the received data.
+	o.Runs[0].Resumed = false
+	o.Runs[0].Config.Topology = hetsort.TopologyTree
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("step-io invariant applied to a hierarchical run: %v", err)
+	}
+}
+
+// TestTopologyVariants checks the topology equivalence axis: a flat base
+// fans out across tree radixes and the grid, a hierarchical base gets
+// the flat reference run, and runsPerCase stays in sync with Execute.
+func TestTopologyVariants(t *testing.T) {
+	keys := make([]hetsort.Key, 900)
+	for i := range keys {
+		keys[i] = hetsort.Key(2654435761 * uint32(i))
+	}
+	cfg := hetsort.Config{Perf: []int{1, 1, 4, 4}}
+	smallMachine(&cfg)
+	c := &Case{Name: "topo", Keys: keys, Config: cfg}
+
+	o := Execute(c, RunOptions{})
+	labels := map[string]bool{}
+	for i := range o.Runs {
+		if o.Runs[i].Err != nil {
+			t.Fatalf("run %q: %v", o.Runs[i].Label, o.Runs[i].Err)
+		}
+		labels[o.Runs[i].Label] = true
+	}
+	for _, want := range []string{"tree/r2", "grid", "tree/r4", "tree/r16"} {
+		if !labels[want] {
+			t.Errorf("flat base missing topology variant %q", want)
+		}
+	}
+	if got, want := len(o.Runs), runsPerCase(c, RunOptions{}); got != want {
+		t.Errorf("Execute produced %d runs, runsPerCase predicts %d", got, want)
+	}
+	if err := invariantByName(t, "equivalence").Check(o); err != nil {
+		t.Errorf("topology equivalence violated: %v", err)
+	}
+
+	quick := RunOptions{QuickTopology: true}
+	oq := Execute(c, quick)
+	if got, want := len(oq.Runs), runsPerCase(c, quick); got != want {
+		t.Errorf("quick Execute produced %d runs, runsPerCase predicts %d", got, want)
+	}
+
+	hc := &Case{Name: "topo-tree", Keys: keys, Config: cfg}
+	hc.Config.Topology = hetsort.TopologyTree
+	hc.Config.Radix = 2
+	oh := Execute(hc, RunOptions{})
+	flat := false
+	for i := range oh.Runs {
+		if oh.Runs[i].Err != nil {
+			t.Fatalf("run %q: %v", oh.Runs[i].Label, oh.Runs[i].Err)
+		}
+		if oh.Runs[i].Label == "flat" {
+			flat = true
+		}
+	}
+	if !flat {
+		t.Error("hierarchical base did not get a flat reference run")
+	}
+	if got, want := len(oh.Runs), runsPerCase(hc, RunOptions{}); got != want {
+		t.Errorf("Execute produced %d runs for tree base, runsPerCase predicts %d", got, want)
+	}
+	if err := invariantByName(t, "equivalence").Check(oh); err != nil {
+		t.Errorf("flat reference diverged from tree base: %v", err)
+	}
 }
 
 func TestAttributionInvariantTeeth(t *testing.T) {
@@ -220,7 +289,9 @@ func TestShrinkProducesMinimalRepro(t *testing.T) {
 		Config: hetsort.Config{
 			Nodes: 2, Loads: []float64{0.5, 1.0},
 			BlockKeys: 16, MemoryKeys: 256, Tapes: 4,
-			Pipeline: true, // irrelevant axis the shrinker should drop
+			// Irrelevant axes the shrinker should drop.
+			Pipeline: true,
+			Topology: hetsort.TopologyTree, Radix: 2,
 		},
 	}
 	fails := Check(c, RunOptions{}, "error")
@@ -236,6 +307,10 @@ func TestShrinkProducesMinimalRepro(t *testing.T) {
 	}
 	if shrunk.Config.Pipeline {
 		t.Error("shrinker kept the irrelevant Pipeline axis")
+	}
+	if shrunk.Config.Topology != "" || shrunk.Config.Radix != 0 {
+		t.Errorf("shrinker kept the irrelevant topology axes (%q, r=%d)",
+			shrunk.Config.Topology, shrunk.Config.Radix)
 	}
 	if re := Check(shrunk, RunOptions{}, "error"); len(re) == 0 {
 		t.Fatal("shrunk case no longer fails")

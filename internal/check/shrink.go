@@ -65,6 +65,10 @@ func Shrink(c *Case, invariant string, opts RunOptions, maxRuns int) *Case {
 		},
 		stringAxis(func(g *hetsort.Config) *string { return &g.Network }),
 		stringAxis(func(g *hetsort.Config) *string { return &g.RunFormation }),
+		// Radix before Topology: a radix-dependent failure keeps both,
+		// a radix-independent one shrinks to the default radix first.
+		intAxis(func(g *hetsort.Config) *int { return &g.Radix }),
+		stringAxis(func(g *hetsort.Config) *string { return &g.Topology }),
 		stringAxis(func(g *hetsort.Config) *string { return &g.PivotStrategy }),
 		stringAxis(func(g *hetsort.Config) *string { return &g.Algorithm }),
 		func(g hetsort.Config) (hetsort.Config, bool) {
@@ -224,6 +228,12 @@ func configLiteral(cfg hetsort.Config) string {
 	}
 	if cfg.PivotStrategy != "" {
 		add("PivotStrategy: %q", cfg.PivotStrategy)
+	}
+	if cfg.Topology != "" {
+		add("Topology: %q", cfg.Topology)
+	}
+	if cfg.Radix != 0 {
+		add("Radix: %d", cfg.Radix)
 	}
 	if cfg.QuantileEps != 0 {
 		add("QuantileEps: %g", cfg.QuantileEps)

@@ -70,7 +70,7 @@ func Sweep(opts Options) *Summary {
 	invs := Select(opts.Invariants)
 	variants := selected(invs, "equivalence") || selected(invs, "error")
 	for i, c := range cases {
-		ro := RunOptions{Scratch: opts.Scratch}
+		ro := RunOptions{Scratch: opts.Scratch, QuickTopology: opts.Quick}
 		if opts.Quick && i%4 != 0 {
 			// Quick mode: the durable crash/resume variant only on
 			// every fourth case — it is the slowest axis (real disks,
@@ -117,6 +117,14 @@ func runsPerCase(c *Case, ro RunOptions) int {
 		return 1
 	}
 	runs := 4 // base + pipeline + overlap + pipeline+overlap
+	if flatTopology(c.Config) {
+		runs += 4 // tree/r2 + grid + tree/r4 + tree/r16
+		if ro.QuickTopology {
+			runs -= 2
+		}
+	} else {
+		runs++ // the flat reference run
+	}
 	if !c.Config.Checkpoint.Enabled {
 		runs++
 	}
@@ -189,7 +197,22 @@ func CornerCases(quick bool) []*Case {
 		add("n<p/"+strat, []hetsort.Key{9, 1}, func(cfg *hetsort.Config) { cfg.PivotStrategy = strat })
 		add("all-equal/"+strat, allEqual(500), func(cfg *hetsort.Config) { cfg.PivotStrategy = strat })
 	}
+	// Hierarchical bases: duplicate-heavy routing through the tree, and
+	// n<p under the grid (Execute adds the flat reference run for the
+	// equivalence compare).
+	add("all-equal/tree-r2", allEqual(600), func(cfg *hetsort.Config) {
+		cfg.Topology = hetsort.TopologyTree
+		cfg.Radix = 2
+	})
+	add("n<p/grid", []hetsort.Key{3, 1, 2}, func(cfg *hetsort.Config) {
+		cfg.Topology = hetsort.TopologyGrid
+	})
 	if !quick {
+		add("off-quantum/tree-r4", record.Uniform.Generate(1009, 13, 8), func(cfg *hetsort.Config) {
+			cfg.Perf = []int{1, 1, 4, 4, 1, 1, 4, 4}
+			cfg.Topology = hetsort.TopologyTree
+			cfg.Radix = 4
+		})
 		add("all-equal/hetero", allEqual(2040), func(cfg *hetsort.Config) { cfg.Perf = []int{8, 5, 3, 1} })
 		add("sorted/load-sort", seq(2000, false), func(cfg *hetsort.Config) {
 			cfg.RunFormation = hetsort.RunLoadSort
@@ -221,11 +244,22 @@ func GenerateCase(seed int64, quick bool) *Case {
 	if r.Intn(2) == 1 {
 		cfg.RunFormation = hetsort.RunLoadSort
 	}
+	// Topology: mostly flat (the default), with hierarchical points so
+	// the equivalence axis also starts from a non-flat base (Execute
+	// then adds the flat reference run).
+	switch r.Intn(6) {
+	case 0:
+		cfg.Topology = hetsort.TopologyTree
+		cfg.Radix = []int{2, 4, 16}[r.Intn(3)]
+	case 1:
+		cfg.Topology = hetsort.TopologyGrid
+	}
 	if r.Intn(8) == 0 {
 		// Occasionally sweep the DeWitt baseline (PSRS-only axes and
 		// invariants auto-skip).
 		cfg.Algorithm = hetsort.AlgorithmDeWitt
 		cfg.PivotStrategy = ""
+		cfg.Topology, cfg.Radix = "", 0
 	}
 	if r.Intn(4) == 0 {
 		cfg.Network = hetsort.NetworkIdeal
@@ -276,6 +310,12 @@ func GenerateCase(seed int64, quick bool) *Case {
 	}
 
 	name := fmt.Sprintf("seed%d/%s/p%d/%s/n=%d", seed, dist, p, stratName(cfg), n)
+	if !flatTopology(cfg) {
+		name += "/" + cfg.Topology
+		if cfg.Topology == hetsort.TopologyTree {
+			name += fmt.Sprintf("-r%d", cfg.Radix)
+		}
+	}
 	return &Case{Name: name, Seed: seed, Keys: keys, Config: cfg}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hetsort/internal/diskio"
 	"hetsort/internal/metrics"
@@ -59,18 +60,40 @@ type Config struct {
 	// multiprogramming level.  nil means a dedicated machine.
 	Contention func() float64
 	// LinkBuffer is the per-link message queue capacity (default 4096
-	// messages).  The sorts' send-all-then-receive-all exchange can
-	// queue a whole segment per link, so a sort must grow the queues
-	// to its own bound — ceil(l_i/MessageKeys) messages for the
-	// largest portion l_i, plus the end-of-stream sentinel — via
-	// EnsureLinkCapacity before Run (extsort and dewitt do; see
-	// LinkBound).  The default only covers collectives and modest
-	// direct exchanges; the in-flight *data* volume is bounded by the
-	// dataset either way.
+	// messages) for clusters whose users never declare a bound.  The
+	// sorts' send-all-then-receive-all exchange can queue a whole
+	// segment per link, so a sort declares its own bound —
+	// ceil(l_i/MessageKeys) messages for the largest portion l_i,
+	// plus the end-of-stream sentinel — via EnsureLinkCapacity before
+	// Run (extsort and dewitt do; see LinkBound).  A declared bound
+	// replaces this default: at scale the default is the dominant
+	// memory cost (4096 slots on each of p² links), while the
+	// in-flight *data* volume is bounded by the dataset either way.
 	LinkBuffer int
 	// Trace, when non-nil, receives message and phase events with
 	// virtual timestamps.
 	Trace *trace.Log
+}
+
+// linkState is one directed link: a lazily created message channel
+// plus queue-depth accounting.  Channels materialize on first use, so
+// an idle link costs one small struct rather than a buffered channel —
+// a flat all-to-all still touches all p² links, but tree and grid
+// topologies touch O(p·r·log_r p) and the rest stay unallocated.
+type linkState struct {
+	ch     atomic.Pointer[chan message]
+	queued atomic.Int64 // messages in flight (incremented by the sender before enqueue)
+	hwm    atomic.Int64 // high-water mark of queued since the last Run started
+}
+
+// casMax raises a to at least v.
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Cluster is a simulated machine of P nodes.
@@ -78,7 +101,12 @@ type Cluster struct {
 	nodes []*Node
 	net   NetModel
 	trace *trace.Log
-	links [][]chan message // links[from][to]
+
+	links    []linkState // row-major [from*p+to], channels created lazily
+	linkMu   sync.Mutex  // guards channel creation and capacity growth
+	linkDef  int         // Config.LinkBuffer: capacity for links with no hint
+	linkCap  int         // uniform minimum set by EnsureLinkCapacity
+	linkCapF func(from, to int) int // per-link hint set by EnsureLinkCapacityFunc
 
 	// payloads recycles message payload buffers across the whole
 	// cluster (senders acquire, receivers release), eliminating the
@@ -117,28 +145,154 @@ func LinkBound(maxKeys int64, messageKeys int) int {
 		messageKeys = 1
 	}
 	b := int((maxKeys+int64(messageKeys)-1)/int64(messageKeys)) + 1 + 16
-	if b < 64 {
-		b = 64
+	// A low floor matters at scale: the bound applies per link, and a
+	// flat exchange touches all p² of them, so every slot of floor here
+	// is p²·sizeof(message) bytes of resident buffer at p=1024.
+	if b < 16 {
+		b = 16
 	}
 	return b
 }
 
-// EnsureLinkCapacity grows every link queue to hold at least msgs
-// messages (it never shrinks).  Queued messages are preserved.  Must
-// not be called while Run is executing.
+// EnsureLinkCapacity declares msgs as the uniform queue capacity for
+// every link, replacing the Config.LinkBuffer default (calls keep the
+// largest bound declared so far; a small floor leaves room for control
+// traffic).  Channels created later are sized to the bound, and
+// already-created channels are grown in place (never shrunk), with
+// queued messages preserved.  Must not be called while Run is
+// executing.
 func (c *Cluster) EnsureLinkCapacity(msgs int) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if msgs > c.linkCap {
+		c.linkCap = msgs
+	}
+	c.growCreatedLocked()
+}
+
+// EnsureLinkCapacityFunc installs a per-link capacity hint: the
+// channel for from→to is created with f(from, to) messages of
+// capacity (replacing the Config.LinkBuffer default, subject to the
+// EnsureLinkCapacity uniform minimum and a small control-traffic
+// floor).  The hint is evaluated lazily, so only links that actually
+// carry traffic pay for their bound — this is what keeps a tree
+// topology's resident buffer memory O(p·r·log_r p) instead of the
+// flat path's O(p²).  Already-created channels are grown to their
+// hint immediately (never shrunk).  Pass nil to restore the default.
+// Must not be called while Run is executing.
+func (c *Cluster) EnsureLinkCapacityFunc(f func(from, to int) int) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	c.linkCapF = f
+	c.growCreatedLocked()
+}
+
+// growCreatedLocked grows every already-created channel to the current
+// capacity bound for its link.  Caller holds linkMu.
+func (c *Cluster) growCreatedLocked() {
+	p := len(c.nodes)
 	for i := range c.links {
-		for j, link := range c.links[i] {
-			if cap(link) >= msgs {
-				continue
-			}
-			grown := make(chan message, msgs)
-			for len(link) > 0 {
-				grown <- <-link
-			}
-			c.links[i][j] = grown
+		ls := &c.links[i]
+		chp := ls.ch.Load()
+		if chp == nil {
+			continue
+		}
+		want := c.linkCapLocked(i/p, i%p)
+		if cap(*chp) >= want {
+			continue
+		}
+		grown := make(chan message, want)
+		for len(*chp) > 0 {
+			grown <- <-*chp
+		}
+		ls.ch.Store(&grown)
+	}
+}
+
+// linkCapLocked returns the creation capacity for link from→to.  With
+// a hint function installed the hint replaces the Config.LinkBuffer
+// default (that is the point: the default is sized for arbitrary flat
+// traffic, far above what a structured topology needs per link), while
+// the uniform minimum from EnsureLinkCapacity still applies, and a
+// small floor keeps room for stray control traffic.  Caller holds
+// linkMu.
+func (c *Cluster) linkCapLocked(from, to int) int {
+	if c.linkCapF != nil {
+		capMsgs := c.linkCapF(from, to)
+		if c.linkCap > capMsgs {
+			capMsgs = c.linkCap
+		}
+		if capMsgs < 16 {
+			capMsgs = 16
+		}
+		return capMsgs
+	}
+	// A declared bound replaces the Config.LinkBuffer default rather
+	// than raising it: the default is sized for arbitrary traffic from
+	// callers that never declare anything, and letting it win would
+	// keep every link at 4096 slots (~190 KiB of buffer) when the
+	// sort's own bound is a couple dozen.  A flat exchange at p=1024
+	// touches all 2^20 links, so that is the difference between ~1 GiB
+	// and ~200 GiB of resident channel buffers.
+	if c.linkCap > 0 {
+		capMsgs := c.linkCap
+		if capMsgs < 16 {
+			capMsgs = 16
+		}
+		return capMsgs
+	}
+	return c.linkDef
+}
+
+// linkAt returns the link state for from→to.
+func (c *Cluster) linkAt(from, to int) *linkState {
+	return &c.links[from*len(c.nodes)+to]
+}
+
+// link returns the channel for from→to, creating it on first use at
+// the capacity bound in force.  Safe to call from any node goroutine.
+func (c *Cluster) link(from, to int) chan message {
+	ls := c.linkAt(from, to)
+	if chp := ls.ch.Load(); chp != nil {
+		return *chp
+	}
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	if chp := ls.ch.Load(); chp != nil {
+		return *chp
+	}
+	ch := make(chan message, c.linkCapLocked(from, to))
+	ls.ch.Store(&ch)
+	return ch
+}
+
+// LinksCreated returns the number of links whose channel has been
+// materialized — the measure of resident link-buffer state.
+func (c *Cluster) LinksCreated() int {
+	created := 0
+	for i := range c.links {
+		if c.links[i].ch.Load() != nil {
+			created++
 		}
 	}
+	return created
+}
+
+// FanInHWM returns node id's peak count of distinct in-links with
+// queued messages during the last Run — the peak number of concurrently
+// open incoming streams the node had to buffer.
+func (c *Cluster) FanInHWM(id int) int64 { return c.nodes[id].faninHWM.Load() }
+
+// LinkQueueHWM returns the worst per-link queue high-water mark over
+// node id's incoming links during the last Run.
+func (c *Cluster) LinkQueueHWM(id int) int64 {
+	var m int64
+	for from := 0; from < len(c.nodes); from++ {
+		if h := c.linkAt(from, id).hwm.Load(); h > m {
+			m = h
+		}
+	}
+	return m
 }
 
 // CrashError is the failure a scheduled crash injects: the node stops
@@ -221,14 +375,8 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DisksPerNode <= 0 {
 		cfg.DisksPerNode = 1
 	}
-	c := &Cluster{net: cfg.Net, trace: cfg.Trace}
-	c.links = make([][]chan message, p)
-	for i := range c.links {
-		c.links[i] = make([]chan message, p)
-		for j := range c.links[i] {
-			c.links[i][j] = make(chan message, cfg.LinkBuffer)
-		}
-	}
+	c := &Cluster{net: cfg.Net, trace: cfg.Trace, linkDef: cfg.LinkBuffer}
+	c.links = make([]linkState, p*p)
 	c.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
 		n := &Node{
@@ -293,13 +441,21 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 	c.abortOnce = new(sync.Once)
 	c.abortMu.Unlock()
 	// Drain any messages a previous aborted run left in the links, so
-	// the cluster is reusable after a failure.
+	// the cluster is reusable after a failure, and zero the per-run
+	// queue accounting.
 	for i := range c.links {
-		for j := range c.links[i] {
-			for len(c.links[i][j]) > 0 {
-				<-c.links[i][j]
+		ls := &c.links[i]
+		if chp := ls.ch.Load(); chp != nil {
+			for len(*chp) > 0 {
+				<-*chp
 			}
 		}
+		ls.queued.Store(0)
+		ls.hwm.Store(0)
+	}
+	for _, n := range c.nodes {
+		n.fanin.Store(0)
+		n.faninHWM.Store(0)
 	}
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
@@ -323,6 +479,13 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 		}(i, n)
 	}
 	wg.Wait()
+	// Fold the per-run contention accounting into each node's metrics:
+	// peak concurrently backed-up in-links (≈ peak open incoming
+	// streams) and the worst per-link queue depth.
+	for i, n := range c.nodes {
+		n.metrics.Gauge("net.fanin.hwm").Set(float64(n.faninHWM.Load()))
+		n.metrics.Gauge("net.link.queue.hwm").Set(float64(c.LinkQueueHWM(i)))
+	}
 	var nonNil []error
 	for i, err := range errs {
 		if err != nil {
@@ -379,11 +542,26 @@ type Node struct {
 	overlapCap    float64
 	overlapCredit float64
 
+	// Fan-in accounting: fanin counts in-links that currently hold
+	// queued messages (senders increment on a link's 0→1 transition,
+	// the receiver decrements on 1→0); faninHWM is its per-Run peak.
+	fanin    atomic.Int64
+	faninHWM atomic.Int64
+
 	// Scheduled fault injection (see Cluster.ScheduleCrash).
 	crashArmed bool
 	crashClock float64
 	crashPoint string
 }
+
+// FanInHWM returns the node's peak count of in-links with queued
+// messages so far — readable mid-run by the node's own goroutine for
+// per-round snapshots, or after Run for the whole-run peak.
+func (n *Node) FanInHWM() int64 { return n.faninHWM.Load() }
+
+// MaxInQueueHWM returns the worst queue high-water mark over the node's
+// incoming links so far.
+func (n *Node) MaxInQueueHWM() int64 { return n.cluster.LinkQueueHWM(n.id) }
 
 // initMetricHandles pre-registers the hot-path metrics for a p-node
 // cluster, so Send/Recv only touch atomics.
@@ -392,9 +570,14 @@ func (n *Node) initMetricHandles(p int) {
 	n.mSentKeys = n.metrics.Counter("net.sent.keys")
 	n.mRecvMsgs = n.metrics.Counter("net.recv.msgs")
 	n.mRecvKeys = n.metrics.Counter("net.recv.keys")
-	n.mSentTo = make([]*metrics.Counter, p)
-	for j := 0; j < p; j++ {
-		n.mSentTo[j] = n.metrics.Counter(fmt.Sprintf("net.sent.keys.to.%d", j))
+	// Per-peer traffic counters are p entries per node — p² strings and
+	// atomics cluster-wide — so they stay off above the sizes where
+	// anyone reads them one by one.
+	if p <= 128 {
+		n.mSentTo = make([]*metrics.Counter, p)
+		for j := 0; j < p; j++ {
+			n.mSentTo[j] = n.metrics.Counter(fmt.Sprintf("net.sent.keys.to.%d", j))
+		}
 	}
 	n.mQueueHist = n.metrics.Histogram("net.queue.depth")
 	n.mQueueLast = n.metrics.Gauge("net.queue.depth.last")
@@ -665,12 +848,27 @@ func (n *Node) send(to, tag int, keys []record.Key, copyPayload bool) error {
 		n.ChargeTime(vtime.Network, occupancy*n.contention())
 		arrival = n.clock + n.cluster.net.LatencySec
 	}
+	ch := n.cluster.link(n.id, to)
+	ls := n.cluster.linkAt(n.id, to)
+	rn := n.cluster.nodes[to]
+	// Count the message before it enters the channel so the receiver's
+	// view of queued never undershoots; a failed enqueue backs the count
+	// out.  Only this node sends on this link, so a 0→1 transition here
+	// pairs with exactly one 1→0 transition at the receiver (or with the
+	// back-out below).
+	q := ls.queued.Add(1)
+	if q == 1 {
+		casMax(&rn.faninHWM, rn.fanin.Add(1))
+	}
 	select {
-	case n.cluster.links[n.id][to] <- message{tag: tag, keys: payload, arrival: arrival, remote: remote}:
+	case ch <- message{tag: tag, keys: payload, arrival: arrival, remote: remote}:
+		casMax(&ls.hwm, q)
 		n.mSentMsgs.Inc()
 		n.mSentKeys.Add(int64(len(keys)))
-		n.mSentTo[to].Add(int64(len(keys)))
-		depth := float64(len(n.cluster.links[n.id][to]))
+		if n.mSentTo != nil {
+			n.mSentTo[to].Add(int64(len(keys)))
+		}
+		depth := float64(len(ch))
 		n.mQueueHist.Observe(depth)
 		n.mQueueLast.Set(depth)
 		if tl := n.cluster.trace; tl != nil {
@@ -679,6 +877,9 @@ func (n *Node) send(to, tag int, keys []record.Key, copyPayload bool) error {
 		}
 		return nil
 	default:
+		if ls.queued.Add(-1) == 0 && q == 1 {
+			rn.fanin.Add(-1)
+		}
 		return fmt.Errorf("cluster: link %d->%d full (deadlock-prone receive order?)", n.id, to)
 	}
 }
@@ -694,17 +895,21 @@ func (n *Node) Recv(from, wantTag int) ([]record.Key, error) {
 	if from < 0 || from >= n.P() {
 		return nil, fmt.Errorf("cluster: node %d receiving from invalid rank %d", n.id, from)
 	}
+	ch := n.cluster.link(from, n.id)
 	var msg message
 	select {
-	case msg = <-n.cluster.links[from][n.id]:
+	case msg = <-ch:
 	default:
 		// Slow path: block on the message or on a cluster abort (a
 		// peer failed and will never send).
 		select {
-		case msg = <-n.cluster.links[from][n.id]:
+		case msg = <-ch:
 		case <-n.cluster.abort:
 			return nil, fmt.Errorf("cluster: node %d receive from %d aborted (peer failed)", n.id, from)
 		}
+	}
+	if n.cluster.linkAt(from, n.id).queued.Add(-1) == 0 {
+		n.fanin.Add(-1)
 	}
 	if msg.tag != wantTag {
 		return nil, fmt.Errorf("cluster: node %d expected tag %d from %d, got %d",

@@ -122,6 +122,21 @@ type Config struct {
 	// manifests so a resumed run can verify its final output (only
 	// meaningful with Checkpoint).
 	InputSum record.Checksum
+	// Topology selects the communication structure for pivot
+	// aggregation (step 2) and redistribution (step 4): TopologyFlat is
+	// Algorithm 1 as written; TopologyTree and TopologyGrid bound every
+	// node's fan-in at O(r) per round by aggregating samples up an
+	// r-ary reduction tree and routing partitions through ⌈log_r p⌉
+	// rounds of r-way exchanges (2 rounds for the √p×√p grid).  Unlike
+	// Pipeline/Overlap, the topology is an outcome parameter for the
+	// QuantileSketch strategy (its sketch merge is order-sensitive, so
+	// per-node partitions may differ from the flat run's even though
+	// the global sorted output is identical) and the phase-4 artifacts
+	// differ, so it is part of the resume fingerprint.
+	Topology Topology
+	// Radix is the tree fan-in r (default 4).  The grid topology
+	// derives its ⌈√p⌉ radix from p and ignores this.
+	Radix int
 	// Merkle upgrades the final checkpoint manifest to a Merkle-anchored
 	// one: each node hashes the artifacts its phase-5 manifest depends on
 	// and records a Merkle root over them, so the run's outputs verify
@@ -136,9 +151,10 @@ type Config struct {
 // sig fingerprints the parameters that must match between an
 // interrupted run and its resume.
 func (c Config) sig(inputName, outputName string) string {
-	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d in=%s out=%s",
+	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d topo=%d r=%d in=%s out=%s",
 		[]int(c.Perf), c.BlockKeys, c.MemoryKeys, c.Tapes, c.MessageKeys,
-		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.Seed, inputName, outputName)
+		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.Seed,
+		c.Topology, c.Radix, inputName, outputName)
 }
 
 // ApplyDefaults fills zero-valued fields with the paper's defaults for
@@ -162,6 +178,9 @@ func (c *Config) applyDefaults(p int) {
 	if c.MessageKeys <= 0 {
 		c.MessageKeys = 8192
 	}
+	if c.Radix <= 0 {
+		c.Radix = 4
+	}
 }
 
 // Validate checks the configuration against cluster size p.
@@ -180,6 +199,14 @@ func (c Config) Validate(p int) error {
 	}
 	if c.MessageKeys <= 0 {
 		return fmt.Errorf("extsort: MessageKeys=%d must be positive", c.MessageKeys)
+	}
+	switch c.Topology {
+	case TopologyFlat, TopologyTree, TopologyGrid:
+	default:
+		return fmt.Errorf("extsort: unknown topology %d", c.Topology)
+	}
+	if c.Radix < 2 {
+		return fmt.Errorf("extsort: Radix=%d must be >= 2", c.Radix)
 	}
 	// The paper recommends message sizes that are multiples of the
 	// block size (step 4), but its own packet-size experiment goes down
@@ -316,14 +343,25 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	// Size the link queues from the dataset: step 4's send-all-then-
 	// receive-all exchange queues at most one whole segment (≤ l_i
 	// keys) per link, so sends never block and the exchange order
-	// cannot deadlock, barrier or pipelined.
-	var maxPortion int64
+	// cannot deadlock, barrier or pipelined.  Flat runs set one uniform
+	// bound (every link can carry a whole portion); hierarchical runs
+	// install a per-link hint instead, so only the O(r) links each node
+	// actually uses per round are sized for bulk data and the rest of
+	// the p² mesh stays unallocated.
+	var maxPortion, totalKeys int64
 	for i := 0; i < p; i++ {
-		if li, err := diskio.CountKeys(c.Node(i).FS(), inputName); err == nil && li > maxPortion {
-			maxPortion = li
+		if li, err := diskio.CountKeys(c.Node(i).FS(), inputName); err == nil {
+			totalKeys += li
+			if li > maxPortion {
+				maxPortion = li
+			}
 		}
 	}
-	c.EnsureLinkCapacity(cluster.LinkBound(maxPortion, cfg.MessageKeys))
+	if cfg.Topology != TopologyFlat && p > 1 {
+		c.EnsureLinkCapacityFunc(hierLinkBound(p, cfg.Topology, cfg.Radix, cfg.MessageKeys, totalKeys))
+	} else {
+		c.EnsureLinkCapacity(cluster.LinkBound(maxPortion, cfg.MessageKeys))
+	}
 
 	err := c.Run(func(n *cluster.Node) error {
 		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
@@ -452,7 +490,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 		return n.IOStats()
 	}
 	mark := func(step int, before pdm.IOStats) error {
-		if err := n.Barrier(tagBarrierBase + 2*step); err != nil {
+		if err := w.barrier(tagBarrierBase + 2*step); err != nil {
 			return err
 		}
 		stepEnds[step] = n.Clock()
@@ -600,33 +638,52 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 	// the messages arrive.  The fused work (receive, merge compute,
 	// output writes) is all attributed to step 4's window; step 5 then
 	// only commits and cleans up.  The fallback keeps the barrier path
-	// when the p message buffers would not fit in memory.
+	// when the fan-in's message buffers would not fit in memory — for
+	// the flat all-to-all that fan-in is p, for the hierarchical
+	// topologies it is the O(r) final-round in-degree.
 	pipelined := w.cfg.Pipeline && needy[id]
-	if pipelined && !w.cfg.pipelineFits(n.P()) {
-		pipelined = false
-		n.TraceEvent(trace.Pipeline, "fallback",
-			fmt.Sprintf("fan-in %d x %d-key messages exceeds MemoryKeys=%d", n.P(), w.cfg.MessageKeys, w.cfg.MemoryKeys))
-	}
-	if err := w.sendSegments(needy); err != nil {
-		return fmt.Errorf("step 4 on node %d: %w", id, err)
-	}
-	recvNames := make([]string, n.P())
-	for i := range recvNames {
-		recvNames[i] = w.recvName(i)
-	}
+	var recvNames []string
+	var counts []int64
 	merged := false
-	if needy[id] {
-		var counts []int64
-		var err error
-		if pipelined {
-			counts, err = w.pipelineMerge(recvNames)
-			merged = err == nil
-		} else {
-			counts, err = w.receiveSegments(recvNames)
+	if w.hier() {
+		if pipelined && !w.cfg.hierPipelineFits(w.hierFinalFanIn()) {
+			pipelined = false
+			n.TraceEvent(trace.Pipeline, "fallback",
+				fmt.Sprintf("fan-in %d x %d-key messages exceeds MemoryKeys=%d", w.hierFinalFanIn(), w.cfg.MessageKeys, w.cfg.MemoryKeys))
 		}
+		var err error
+		recvNames, counts, merged, err = w.redistributeHier(needy, pipelined)
 		if err != nil {
 			return fmt.Errorf("step 4 on node %d: %w", id, err)
 		}
+	} else {
+		if pipelined && !w.cfg.pipelineFits(n.P()) {
+			pipelined = false
+			n.TraceEvent(trace.Pipeline, "fallback",
+				fmt.Sprintf("fan-in %d x %d-key messages exceeds MemoryKeys=%d", n.P(), w.cfg.MessageKeys, w.cfg.MemoryKeys))
+		}
+		if err := w.sendSegments(needy); err != nil {
+			return fmt.Errorf("step 4 on node %d: %w", id, err)
+		}
+		recvNames = make([]string, n.P())
+		for i := range recvNames {
+			recvNames[i] = w.recvName(i)
+		}
+		if needy[id] {
+			n.Metrics().Gauge("redist.fanin.streams").Set(float64(n.P()))
+			var err error
+			if pipelined {
+				counts, err = w.pipelineMerge(recvNames)
+				merged = err == nil
+			} else {
+				counts, err = w.receiveSegments(recvNames)
+			}
+			if err != nil {
+				return fmt.Errorf("step 4 on node %d: %w", id, err)
+			}
+		}
+	}
+	if needy[id] {
 		n.CrashPoint(StepNames[3])
 		if done < 4 && w.cfg.Checkpoint {
 			var files []checkpoint.FileInfo
@@ -639,7 +696,9 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 				files = append(files, checkpoint.FileInfo{Name: w.segName(j), Keys: sz})
 			}
 			for i, name := range recvNames {
-				// ...and the received files feed the final merge.
+				// ...and the final-merge inputs (the flat path's p
+				// received files; the hierarchical path's own last-round
+				// bucket plus its O(r) received files).
 				files = append(files, checkpoint.FileInfo{Name: name, Keys: counts[i]})
 			}
 			if err := w.commit(4, files); err != nil {
@@ -658,7 +717,38 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 	// then this window only holds the commit and cleanup).
 	before = begin(4)
 	endPhase = n.TracePhase(StepNames[4])
+	cleanup := func() error {
+		// Once phase 5 is committed no recovery can need the segments
+		// or received files: a peer at phase 5 implies every node
+		// committed phase 4 (the barrier ordering guarantees it).
+		if !w.cfg.Checkpoint || w.cfg.KeepIntermediates {
+			return nil
+		}
+		for j := 0; j < n.P(); j++ {
+			if err := n.FS().Remove(w.segName(j)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+		for _, name := range recvNames {
+			if err := n.FS().Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+		if w.hier() {
+			// A crashed hierarchical run can orphan round buckets for
+			// destinations that were no longer needy on the retry.
+			if err := w.cleanStaleRounds(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if done >= 5 {
+		// A node that crashed after its phase-5 commit but before its
+		// cleanup re-runs the (idempotent) sweep here.
+		if err := cleanup(); err != nil {
+			return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
+		}
 		w.skipPhase(4)
 	} else {
 		if !merged {
@@ -674,20 +764,8 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 		if err := w.commit(5, []checkpoint.FileInfo{{Name: w.output, Keys: outKeys}}); err != nil {
 			return err
 		}
-		// Once phase 5 is committed no recovery can need the segments
-		// or received files: a peer at phase 5 implies every node
-		// committed phase 4 (the barrier ordering guarantees it).
-		if w.cfg.Checkpoint && !w.cfg.KeepIntermediates {
-			for j := 0; j < n.P(); j++ {
-				if err := n.FS().Remove(w.segName(j)); err != nil && !errors.Is(err, os.ErrNotExist) {
-					return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
-				}
-			}
-			for _, name := range recvNames {
-				if err := n.FS().Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
-					return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
-				}
-			}
+		if err := cleanup(); err != nil {
+			return fmt.Errorf("step 5 cleanup on node %d: %w", id, err)
 		}
 	}
 	endPhase()
@@ -763,11 +841,36 @@ func (w *worker) selectPivots(li int64) ([]record.Key, error) {
 			}
 		}
 	}
+	var pivots []record.Key
+	if w.hier() {
+		// Aggregate up the radix-r reduction tree: each inner node merges
+		// its children's sorted sample slices into one sorted slice before
+		// forwarding, so no node's fan-in exceeds r−1 and the root does
+		// O(s·log_r p) merge work instead of an O(s·log s) sort.  The
+		// candidate multiset reaching the root is exactly the flat
+		// gather's, and SelectPivotsRegular depends only on the multiset,
+		// so the pivots are bit-identical to the flat run's.
+		merged, err := n.TreeReduce(w.collRadix(), tagSamples, samples,
+			func(acc, child []record.Key) ([]record.Key, error) {
+				n.ChargeCompute(int64(len(acc) + len(child)))
+				return sampling.CombineSorted(acc, child), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			n.ChargeCompute(int64(len(merged)) * 16)
+			pivots, err = sampling.SelectPivotsRegular(merged, cfg.Perf)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return w.bcast(tagPivots, pivots)
+	}
 	gathered, err := n.Gather(0, tagSamples, samples)
 	if err != nil {
 		return nil, err
 	}
-	var pivots []record.Key
 	if id == 0 {
 		var cands []record.Key
 		for _, g := range gathered {

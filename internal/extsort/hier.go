@@ -1,0 +1,499 @@
+package extsort
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"hetsort/internal/cluster"
+	"hetsort/internal/diskio"
+	"hetsort/internal/polyphase"
+	"hetsort/internal/record"
+	"hetsort/internal/trace"
+)
+
+// tagRoundBase tags the hierarchical redistribution traffic: round t
+// uses tagRoundBase + t, so late rounds queue behind earlier ones on a
+// shared link (per-link FIFO) without inter-round barriers.
+const tagRoundBase = 400
+
+// hier reports whether this run takes the hierarchical steps 2+4.
+func (w *worker) hier() bool {
+	return w.cfg.Topology != TopologyFlat && w.n.P() > 1
+}
+
+// collRadix is the fan-in of this run's collective tree.
+func (w *worker) collRadix() int {
+	return collectiveRadix(w.n.P(), w.cfg.Topology, w.cfg.Radix)
+}
+
+// The step-2 collectives and the inter-step barriers dispatch on the
+// topology: hierarchical runs route every collective through the
+// radix-r tree so no node's fan-in exceeds r−1, flat runs keep
+// Algorithm 1's star.  TreeGather delivers the root the exact per-rank
+// slices of the flat Gather, so the strategies built on these wrappers
+// produce bit-identical pivots on either topology.
+
+func (w *worker) barrier(tag int) error {
+	if w.hier() {
+		return w.n.TreeBarrier(w.collRadix(), tag)
+	}
+	return w.n.Barrier(tag)
+}
+
+func (w *worker) gather(tag int, keys []record.Key) ([][]record.Key, error) {
+	if w.hier() {
+		return w.n.TreeGather(w.collRadix(), tag, keys)
+	}
+	return w.n.Gather(0, tag, keys)
+}
+
+func (w *worker) bcast(tag int, keys []record.Key) ([]record.Key, error) {
+	if w.hier() {
+		return w.n.TreeBcast(w.collRadix(), tag, keys)
+	}
+	return w.n.Bcast(0, tag, keys)
+}
+
+func (w *worker) allGather(tag int, keys []record.Key) ([]record.Key, error) {
+	if w.hier() {
+		return w.n.TreeAllGather(w.collRadix(), tag, keys)
+	}
+	return w.n.AllGather(tag, keys)
+}
+
+// bucketName is the file holding this node's round-t bucket for
+// destination d: round 0 reads straight from the step-3 segment files,
+// later rounds from the merged intermediates.
+func (w *worker) bucketName(t, d int) string {
+	if t == 0 {
+		return w.segName(d)
+	}
+	return fmt.Sprintf("hetsort.rt%d.d%d", t, d)
+}
+
+// hierRoundPrefix prefixes every intermediate bucket file, for the
+// phase-5 sweep that clears stale intermediates a recovered run may
+// have left behind.
+const hierRoundPrefix = "hetsort.rt"
+
+// hierLevels returns this run's refinement levels.
+func (w *worker) hierLevels() []int {
+	return topoLevels(w.n.P(), w.cfg.Topology, w.cfg.Radix)
+}
+
+// hierFinalFanIn is the final round's stream fan-in at this node (its
+// in-neighbors plus its own bucket).
+func (w *worker) hierFinalFanIn() int {
+	lv := w.hierLevels()
+	return len(roundInNeighbors(w.n.ID(), lv[len(lv)-2], 1, w.n.P())) + 1
+}
+
+// hierFinalInputs recomputes the final-merge input files — the node's
+// own last-round bucket plus one receive file per final-round
+// in-neighbor — without executing any round.  A resumed node that
+// already committed phase 4 uses this to locate the durable inputs its
+// manifest listed.
+func (w *worker) hierFinalInputs() []string {
+	lv := w.hierLevels()
+	T := len(lv) - 1
+	names := []string{w.bucketName(T-1, w.n.ID())}
+	for _, i := range roundInNeighbors(w.n.ID(), lv[T-1], 1, w.n.P()) {
+		names = append(names, w.recvName(i))
+	}
+	return names
+}
+
+// hierPipelineFits reports whether the fused final round fits memory:
+// one message buffer and one spill-writer block per incoming stream,
+// plus the own-bucket reader's and the output writer's blocks.  The
+// hierarchical fan-in is O(r), so at large p this fits where the flat
+// path's p-way fan-in cannot.
+func (c Config) hierPipelineFits(fanIn int) bool {
+	return (c.MessageKeys+c.BlockKeys)*fanIn+2*c.BlockKeys <= c.MemoryKeys
+}
+
+// redistributeHier is step 4 on a tree or grid topology: ⌈log_r p⌉
+// rounds of r-way exchanges in place of the flat all-to-all.  Round t
+// refines rank blocks of lv[t] nodes into sub-blocks of lv[t+1]: every
+// node streams each of its buckets to the representative of the
+// destination's sub-block (routeStep) and merges the incoming streams
+// per destination with its own bucket, so after the last round (sub-
+// blocks of 1) node d holds exactly partition d.  Each round is
+// send-all-then-receive-all on its own tag; buffered links make sends
+// non-blocking and per-link FIFO keeps rounds ordered, so no
+// inter-round barrier is needed and no node ever holds more than its
+// round in-degree of open streams.
+//
+// All nodes run all rounds — on a resumed run the nodes already past
+// phase 4 act as pure forwarders, re-routing the needy destinations'
+// data from their retained segment files — and both senders and
+// receivers apply the same needy filter, so only lost partitions flow.
+// Returns the final-merge input files and their key counts (for the
+// phase-4 manifest), and whether the output was already merged
+// in-stream (Pipeline).
+func (w *worker) redistributeHier(needy []bool, pipelined bool) (inputs []string, counts []int64, merged bool, err error) {
+	n := w.n
+	p, id := n.P(), n.ID()
+	lv := w.hierLevels()
+	T := len(lv) - 1
+	n.Metrics().Gauge("redist.rounds").Set(float64(T))
+	maxFan := 1
+	for t := 0; t < T; t++ {
+		s, sub := lv[t], lv[t+1]
+		tag := tagRoundBase + t
+		endRound := n.TracePhase(fmt.Sprintf("%s/round%d", StepNames[3], t))
+
+		// Send half: every bucket whose destination's sub-block is led
+		// elsewhere streams to that sub-block's representative,
+		// destinations in ascending order (the receivers drain in the
+		// same order; per-link FIFO aligns the frames).
+		bs := id / s * s
+		hi := bs + s
+		if hi > p {
+			hi = p
+		}
+		var sent int64
+		for lo := bs; lo < hi; lo += sub {
+			subEnd := lo + sub
+			if subEnd > hi {
+				subEnd = hi
+			}
+			rep := routeStep(id, lo, s, sub, p)
+			if rep == id {
+				continue // own sub-block: buckets stay local
+			}
+			for d := lo; d < subEnd; d++ {
+				if !needy[d] {
+					continue
+				}
+				k, serr := w.sendBucket(rep, tag, t, d)
+				if serr != nil {
+					endRound()
+					return nil, nil, false, serr
+				}
+				sent += k
+			}
+		}
+		n.Metrics().Counter(fmt.Sprintf("redist.r%d.sent.keys", t)).Add(sent)
+
+		// Receive half: merge own bucket with the in-neighbors' streams
+		// for every needy destination of the node's new sub-block.
+		nbrs := roundInNeighbors(id, s, sub, p)
+		if f := len(nbrs) + 1; f > maxFan {
+			maxFan = f
+		}
+		n.Metrics().Gauge(fmt.Sprintf("redist.r%d.fanin", t)).Set(float64(len(nbrs) + 1))
+		if sub == 1 {
+			// Final round: the destination is the node itself.
+			if needy[id] {
+				if pipelined {
+					inputs, counts, err = w.fuseFinal(t, tag, nbrs)
+					merged = err == nil
+				} else {
+					inputs, counts, err = w.spoolFinal(t, tag, nbrs)
+				}
+				if err != nil {
+					endRound()
+					return nil, nil, false, err
+				}
+			}
+		} else {
+			slo := id / sub * sub
+			sEnd := slo + sub
+			if sEnd > hi {
+				sEnd = hi
+			}
+			for d := slo; d < sEnd; d++ {
+				if !needy[d] {
+					continue
+				}
+				if err := w.mergeRoundDest(t, tag, d, nbrs); err != nil {
+					endRound()
+					return nil, nil, false, err
+				}
+			}
+		}
+		n.Metrics().Gauge(fmt.Sprintf("redist.r%d.queue.hwm", t)).Set(float64(n.MaxInQueueHWM()))
+		endRound()
+	}
+	n.Metrics().Gauge("redist.fanin.streams").Set(float64(maxFan))
+	if !needy[id] {
+		// A forwarder's final-merge inputs are the durable files its
+		// earlier phase-4 manifest listed.
+		inputs = w.hierFinalInputs()
+	}
+	return inputs, counts, merged, nil
+}
+
+// removeBucket applies the retention rules after a bucket was consumed
+// (sent or merged forward): intermediates go unless debugging keeps
+// them; round-0 buckets are the step-3 segments, retained under
+// Checkpoint for peers' recoveries exactly like the flat path.
+func (w *worker) removeBucket(t, d int) error {
+	if w.cfg.KeepIntermediates || (t == 0 && w.cfg.Checkpoint) {
+		return nil
+	}
+	if err := w.n.FS().Remove(w.bucketName(t, d)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// sendBucket streams this node's round-t bucket for destination d to
+// node `to` in MessageKeys-sized pooled messages, terminated by the
+// zero-length sentinel, and returns the key count sent.  Mirrors the
+// flat sendSegments framing, per destination.
+func (w *worker) sendBucket(to, tag, t, d int) (int64, error) {
+	n, cfg := w.n, w.cfg
+	name := w.bucketName(t, d)
+	f, err := n.FS().Open(name)
+	if err != nil {
+		return 0, err
+	}
+	r := diskio.NewBlockReader(f, cfg.BlockKeys, n.Acct(), w.overlap())
+	var sent int64
+	for {
+		buf := n.AcquireBuf(cfg.MessageKeys)
+		cnt, rerr := r.ReadKeys(buf)
+		if cnt > 0 {
+			if err := n.SendOwned(to, tag, buf[:cnt]); err != nil {
+				r.Release()
+				f.Close()
+				return sent, err
+			}
+			sent += int64(cnt)
+		} else {
+			n.ReleaseBuf(buf)
+		}
+		if rerr == io.EOF || cnt == 0 {
+			break
+		}
+		if rerr != nil {
+			r.Release()
+			f.Close()
+			return sent, rerr
+		}
+	}
+	r.Release()
+	if err := f.Close(); err != nil {
+		return sent, err
+	}
+	if err := n.SendOwned(to, tag, nil); err != nil {
+		return sent, err
+	}
+	return sent, w.removeBucket(t, d)
+}
+
+// mergeRoundDest merges this node's round-t bucket for destination d
+// with the per-neighbor incoming streams into the round-(t+1) bucket.
+// With no in-neighbors the bucket advances by rename — except a
+// round-0 segment that checkpointing must retain, which is copied with
+// counted I/O instead.
+func (w *worker) mergeRoundDest(t, tag, d int, nbrs []int) error {
+	n, cfg := w.n, w.cfg
+	old, next := w.bucketName(t, d), w.bucketName(t+1, d)
+	if len(nbrs) == 0 {
+		if t == 0 && (cfg.Checkpoint || cfg.KeepIntermediates) {
+			return polyphase.MergeFiles(w.polyCfg("hetsort.s4."), []string{old}, next)
+		}
+		return n.FS().Rename(old, next)
+	}
+	f, err := n.FS().Open(old)
+	if err != nil {
+		return err
+	}
+	r := diskio.NewBlockReader(f, cfg.BlockKeys, n.Acct(), w.overlap())
+	streams := make([]*cluster.Stream, len(nbrs))
+	srcs := make([]polyphase.MergeSource, 0, len(nbrs)+1)
+	srcs = append(srcs, r)
+	for i, nb := range nbrs {
+		streams[i] = n.OpenStream(nb, tag)
+		srcs = append(srcs, streams[i])
+	}
+	closeAll := func() {
+		for _, s := range streams {
+			s.Close()
+		}
+		r.Release()
+		f.Close()
+	}
+	outFile, err := n.FS().Create(next)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
+	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+		out.Close()
+		outFile.Close()
+		closeAll()
+		return err
+	}
+	closeAll()
+	if err := out.Close(); err != nil {
+		outFile.Close()
+		return err
+	}
+	if err := outFile.Close(); err != nil {
+		return err
+	}
+	return w.removeBucket(t, d)
+}
+
+// fuseFinal is the pipelined final round: the own-bucket reader and
+// the in-neighbor streams merge straight into the output file (steps
+// 4+5 fused), teeing the streams to durable receive files when
+// checkpointing, exactly like the flat pipelineMerge but with O(r)
+// fan-in.  Returns the manifest inputs and counts.
+func (w *worker) fuseFinal(t, tag int, nbrs []int) (inputs []string, counts []int64, err error) {
+	n, cfg := w.n, w.cfg
+	own := w.bucketName(t, n.ID())
+	ownKeys, err := diskio.CountKeys(n.FS(), own)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := n.FS().Open(own)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := diskio.NewBlockReader(f, cfg.BlockKeys, n.Acct(), w.overlap())
+	streams := make([]*cluster.Stream, len(nbrs))
+	spillFiles := make([]diskio.File, len(nbrs))
+	spillW := make([]diskio.BlockWriter, len(nbrs))
+	defer func() {
+		for _, s := range streams {
+			if s != nil {
+				s.Close()
+			}
+		}
+		r.Release()
+		f.Close()
+		for i := range spillW {
+			if spillW[i] != nil {
+				if cerr := spillW[i].Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if spillFiles[i] != nil {
+				if cerr := spillFiles[i].Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}
+	}()
+	srcs := make([]polyphase.MergeSource, 0, len(nbrs)+1)
+	srcs = append(srcs, r)
+	for i, nb := range nbrs {
+		s := n.OpenStream(nb, tag)
+		if cfg.Checkpoint {
+			sf, cerr := n.FS().Create(w.recvName(nb))
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			wr := diskio.NewBlockWriter(sf, cfg.BlockKeys, n.Acct(), w.overlap())
+			spillFiles[i], spillW[i] = sf, wr
+			s.Tee = wr.WriteKeys
+		}
+		streams[i] = s
+		srcs = append(srcs, s)
+	}
+	mode := "fused"
+	if cfg.Checkpoint {
+		mode = "spill"
+	}
+	n.TraceEvent(trace.Pipeline, mode, fmt.Sprintf("fan-in:%d msg:%d", len(nbrs)+1, cfg.MessageKeys))
+	outFile, err := n.FS().Create(w.output)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
+	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+		out.Close()
+		outFile.Close()
+		return nil, nil, err
+	}
+	if err := out.Close(); err != nil {
+		outFile.Close()
+		return nil, nil, err
+	}
+	if err := outFile.Close(); err != nil {
+		return nil, nil, err
+	}
+	inputs = []string{own}
+	counts = []int64{ownKeys}
+	for i, s := range streams {
+		inputs = append(inputs, w.recvName(nbrs[i]))
+		counts = append(counts, s.Received())
+	}
+	return inputs, counts, nil
+}
+
+// spoolFinal is the barrier-path final round: each in-neighbor's
+// stream spools to its receive file; the own bucket stays on disk.
+// Step 5 merges them all.
+func (w *worker) spoolFinal(t, tag int, nbrs []int) (inputs []string, counts []int64, err error) {
+	n, cfg := w.n, w.cfg
+	own := w.bucketName(t, n.ID())
+	ownKeys, err := diskio.CountKeys(n.FS(), own)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs = []string{own}
+	counts = []int64{ownKeys}
+	for _, nb := range nbrs {
+		f, err := n.FS().Create(w.recvName(nb))
+		if err != nil {
+			return nil, nil, err
+		}
+		wr := diskio.NewBlockWriter(f, cfg.BlockKeys, n.Acct(), w.overlap())
+		for {
+			keys, err := n.Recv(nb, tag)
+			if err != nil {
+				wr.Close()
+				f.Close()
+				return nil, nil, err
+			}
+			if len(keys) == 0 {
+				break
+			}
+			werr := wr.WriteKeys(keys)
+			n.ReleaseBuf(keys)
+			if werr != nil {
+				wr.Close()
+				f.Close()
+				return nil, nil, werr
+			}
+		}
+		inputs = append(inputs, w.recvName(nb))
+		counts = append(counts, wr.KeysWritten())
+		if err := wr.Close(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return inputs, counts, nil
+}
+
+// cleanStaleRounds removes any leftover intermediate bucket files —
+// a crashed hierarchical run can orphan rt files for destinations that
+// were no longer needy on the retry.  Swept once, after phase 5
+// commits.
+func (w *worker) cleanStaleRounds() error {
+	names, err := w.n.FS().Names()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if len(name) >= len(hierRoundPrefix) && name[:len(hierRoundPrefix)] == hierRoundPrefix {
+			if err := w.n.FS().Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -91,7 +91,9 @@ func (w *worker) selectPivotsRandom(li int64) ([]record.Key, error) {
 	if err != nil {
 		return nil, err
 	}
-	gathered, err := n.Gather(0, tagSamples, samples)
+	// TreeGather presents the root the same per-rank slices as the flat
+	// gather, so the hierarchical dispatch changes no pivot byte.
+	gathered, err := w.gather(tagSamples, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +109,7 @@ func (w *worker) selectPivotsRandom(li int64) ([]record.Key, error) {
 			return nil, err
 		}
 	}
-	return n.Bcast(0, tagPivots, pivots)
+	return w.bcast(tagPivots, pivots)
 }
 
 // selectPivotsOver implements the Overpartitioning strategy for the
@@ -131,7 +133,7 @@ func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
 	if err != nil {
 		return nil, err
 	}
-	gathered, err := n.Gather(0, tagSamples, samples)
+	gathered, err := w.gather(tagSamples, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +150,7 @@ func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
 			return nil, err
 		}
 	}
-	fine, err = n.Bcast(0, tagPivots, fine)
+	fine, err = w.bcast(tagPivots, fine)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +165,7 @@ func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
 	for i, s := range sizes {
 		sizeKeys[i] = record.Key(s)
 	}
-	all, err := n.AllGather(tagOverSizes, sizeKeys)
+	all, err := w.allGather(tagOverSizes, sizeKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +229,46 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 		}
 	}
 	vals, weights := sk.Export()
+	if w.hier() {
+		// Sketches combine pairwise up the reduction tree: each inner
+		// node merges its children's summaries into its own and forwards
+		// one ε-sketch, so the root receives O(r) sketches instead of p.
+		// GK merging is order-sensitive, so the pivots can differ from
+		// the flat run's — the topology is an outcome parameter for this
+		// strategy (both partitionings satisfy the sketch error bound,
+		// and the global sorted output is identical either way).
+		agg, err := n.TreeReduce(w.collRadix(), tagSamples, encodeSketch(vals, weights),
+			func(acc, child []record.Key) ([]record.Key, error) {
+				av, aw := decodeSketch(acc)
+				cv, cw := decodeSketch(child)
+				sa, err := quantile.FromExport(eps, av, aw)
+				if err != nil {
+					return nil, err
+				}
+				sc, err := quantile.FromExport(eps, cv, cw)
+				if err != nil {
+					return nil, err
+				}
+				n.ChargeCompute(int64(sa.TupleCount()+sc.TupleCount()) * 8)
+				sa.Merge(sc)
+				mv, mw := sa.Export()
+				return encodeSketch(mv, mw), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		var pivots []record.Key
+		if id == 0 {
+			rv, rw := decodeSketch(agg)
+			merged, err := quantile.FromExport(eps, rv, rw)
+			if err != nil {
+				return nil, err
+			}
+			n.ChargeCompute(int64(merged.TupleCount()) * 8)
+			pivots = w.quantilePivots(merged)
+		}
+		return w.bcast(tagPivots, pivots)
+	}
 	wk := make([]record.Key, len(weights))
 	for i, wt := range weights {
 		wk[i] = record.Key(wt)
@@ -257,20 +299,49 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 			merged.Merge(s)
 		}
 		n.ChargeCompute(int64(merged.TupleCount()) * 8)
-		sum := cfg.Perf.Sum()
-		pivots = make([]record.Key, p-1)
-		var cum int64
-		for j := 0; j < p-1; j++ {
-			cum += int64(cfg.Perf[j])
-			pv, qerr := merged.Query(float64(cum) / float64(sum))
-			if qerr != nil {
-				// Empty global input: zero pivots are valid.
-				pv = 0
-			}
-			pivots[j] = pv
-		}
+		pivots = w.quantilePivots(merged)
 	}
 	return n.Bcast(0, tagPivots, pivots)
+}
+
+// quantilePivots answers the p-1 perf-weighted pivot quantiles from the
+// merged sketch.
+func (w *worker) quantilePivots(merged *quantile.Summary) []record.Key {
+	p := w.n.P()
+	sum := w.cfg.Perf.Sum()
+	pivots := make([]record.Key, p-1)
+	var cum int64
+	for j := 0; j < p-1; j++ {
+		cum += int64(w.cfg.Perf[j])
+		pv, qerr := merged.Query(float64(cum) / float64(sum))
+		if qerr != nil {
+			// Empty global input: zero pivots are valid.
+			pv = 0
+		}
+		pivots[j] = pv
+	}
+	return pivots
+}
+
+// encodeSketch flattens a sketch export into one key slice for the
+// reduction tree — (value, weight) pairs interleaved; weights fit a Key
+// because they never exceed the (32-bit-keyed) dataset size.
+func encodeSketch(vals []record.Key, weights []int64) []record.Key {
+	out := make([]record.Key, 0, 2*len(vals))
+	for i, v := range vals {
+		out = append(out, v, record.Key(weights[i]))
+	}
+	return out
+}
+
+func decodeSketch(enc []record.Key) ([]record.Key, []int64) {
+	vals := make([]record.Key, 0, len(enc)/2)
+	weights := make([]int64, 0, len(enc)/2)
+	for i := 0; i+1 < len(enc); i += 2 {
+		vals = append(vals, enc[i])
+		weights = append(weights, int64(enc[i+1]))
+	}
+	return vals, weights
 }
 
 // countSublists scans the sorted file once and counts how many keys

@@ -1,0 +1,300 @@
+package extsort
+
+import (
+	"fmt"
+	"math"
+
+	"hetsort/internal/record"
+)
+
+// Topology selects the communication structure of steps 2 and 4.  The
+// flat structure is Algorithm 1 as written: one O(p·s) gather for the
+// samples and one p×p all-to-all round for the redistribution.  Both
+// collapse long before p=1024 — the designated node's fan-in and the
+// per-link buffer memory grow with p and p² respectively — so the
+// hierarchical structures trade extra rounds (and one extra disk pass
+// per round) for O(r) fan-in per node per round, the multi-pass
+// all-to-all of Rahn/Sanders/Singler's distributed external sort.
+// The output is byte-identical to the flat path for the exact pivot
+// strategies (regular sampling, random pivots, overpartitioning); the
+// QuantileSketch strategy's GK merge is not associative, so its tree
+// aggregation keeps the global sorted output identical while per-node
+// partition boundaries may differ from the flat run's.
+type Topology int
+
+const (
+	// TopologyFlat is the paper's direct structure: star collectives
+	// and a single all-to-all redistribution round.
+	TopologyFlat Topology = iota
+	// TopologyTree aggregates samples up an r-ary reduction tree and
+	// redistributes through ⌈log_r p⌉ rounds of r-way exchanges.
+	TopologyTree
+	// TopologyGrid is the 2-round √p×√p special case: redistribution
+	// first routes to the destination's "column" block, then within
+	// it; collectives use a 2-level tree of radix ⌈√p⌉.
+	TopologyGrid
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopologyFlat:
+		return "flat"
+	case TopologyTree:
+		return "tree"
+	case TopologyGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// ParseTopology maps the public string names onto the enum ("" = flat).
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "", "flat":
+		return TopologyFlat, nil
+	case "tree":
+		return TopologyTree, nil
+	case "grid":
+		return TopologyGrid, nil
+	}
+	return TopologyFlat, fmt.Errorf("extsort: unknown topology %q (want flat, tree or grid)", s)
+}
+
+// gridRadix is the block fan-out of the grid topology: ⌈√p⌉.
+func gridRadix(p int) int {
+	g := int(math.Ceil(math.Sqrt(float64(p))))
+	if g < 2 {
+		g = 2
+	}
+	return g
+}
+
+// collectiveRadix is the fan-in of the step-2 reduction tree: the
+// configured radix for trees, ⌈√p⌉ for grids (matching the grid's
+// 2-level block structure).
+func collectiveRadix(p int, topo Topology, radix int) int {
+	if topo == TopologyGrid {
+		return gridRadix(p)
+	}
+	if radix < 2 {
+		return 2
+	}
+	return radix
+}
+
+// topoLevels returns the strictly decreasing block sizes the
+// redistribution refines through: levels[0] = p, levels[len-1] = 1,
+// and round t refines blocks of levels[t] ranks into sub-blocks of
+// levels[t+1].  Every inner level is a power of the radix (⌈√p⌉ for
+// the grid), so the levels are *nested*: a rank's level-(t+1) block
+// boundary is always also a level-t boundary (blocks align at absolute
+// multiples of their size, the last block of each level ragged), which
+// the round invariant — every node of dest's current block holds a
+// bucket for dest — depends on.
+func topoLevels(p int, topo Topology, radix int) []int {
+	if p <= 1 {
+		return []int{1}
+	}
+	r := radix
+	if topo == TopologyGrid {
+		r = gridRadix(p)
+	}
+	if r < 2 {
+		r = 2
+	}
+	lv := []int{1}
+	for s := r; s < p; s *= r {
+		lv = append(lv, s)
+	}
+	lv = append(lv, p)
+	// Reverse into decreasing order.
+	for i, j := 0, len(lv)-1; i < j; i, j = i+1, j-1 {
+		lv[i], lv[j] = lv[j], lv[i]
+	}
+	return lv
+}
+
+// routeStep returns the representative node that id's bucket for dest
+// travels to in a round refining blocks of s ranks into sub-blocks of
+// sub ranks: the node of dest's sub-block at id's offset within the
+// block (mod sub), clamped into the sub-block.  Spreading by the
+// sender's offset balances the merge work over the sub-block; the
+// clamp handles the ragged last sub-block when p is not a power of the
+// radix.  When dest lies in id's own sub-block the route is id itself —
+// the bucket stays local (nested levels make the block start a
+// multiple of sub, so the offset formula yields id exactly).
+func routeStep(id, dest, s, sub, p int) int {
+	lo := dest / sub * sub
+	end := lo + sub
+	if end > p {
+		end = p
+	}
+	bs := id / s * s
+	rep := lo + (id-bs)%sub
+	if rep >= end {
+		rep = end - 1
+	}
+	return rep
+}
+
+// roundInNeighbors returns, ascending, the block peers whose buckets
+// for q's sub-block route to q in the round refining s into sub.
+func roundInNeighbors(q, s, sub, p int) []int {
+	bs := q / s * s
+	hi := bs + s
+	if hi > p {
+		hi = p
+	}
+	slo := q / sub * sub
+	var in []int
+	for i := bs; i < hi; i++ {
+		if i != q && routeStep(i, slo, s, sub, p) == q {
+			in = append(in, i)
+		}
+	}
+	return in
+}
+
+// PeakFanIn returns the worst per-node count of concurrently open
+// incoming redistribution streams (in-neighbors plus the node's own
+// bucket): p for the flat all-to-all, the worst round in-degree + 1
+// for the hierarchical structures — O(r·log_r p) never materializes;
+// each round's O(r) fan-in is what a node holds open at once.
+func PeakFanIn(p int, topo Topology, radix int) int {
+	if topo == TopologyFlat || p <= 1 {
+		return p
+	}
+	lv := topoLevels(p, topo, radix)
+	peak := 1
+	for t := 0; t+1 < len(lv); t++ {
+		s, sub := lv[t], lv[t+1]
+		indeg := make([]int, p)
+		for i := 0; i < p; i++ {
+			bs := i / s * s
+			hi := bs + s
+			if hi > p {
+				hi = p
+			}
+			for lo := bs; lo < hi; lo += sub {
+				if rep := routeStep(i, lo, s, sub, p); rep != i {
+					indeg[rep]++
+				}
+			}
+		}
+		for _, d := range indeg {
+			if d+1 > peak {
+				peak = d + 1
+			}
+		}
+	}
+	return peak
+}
+
+// LinkMemoryBytes estimates the resident link-buffer memory a run of
+// this configuration pins across the cluster: every node buffers up to
+// its peak fan-in of concurrently open incoming streams, one
+// MessageKeys message each.  For the flat topology that is
+// p²·MessageKeys·KeySize — the O(p²) scaling that turns into an OOM at
+// large p — while tree/grid stay at p·(r+1)·MessageKeys·KeySize.  The
+// hetsortd admission check charges this against the machine's memory
+// budget so an over-subscribed flat job is rejected with a 422 instead
+// of exhausting the host.
+func (c Config) LinkMemoryBytes(p int) int64 {
+	cc := c
+	cc.applyDefaults(p)
+	fan := int64(PeakFanIn(p, cc.Topology, cc.Radix))
+	per := satMulInt64(int64(cc.MessageKeys), record.KeySize)
+	return satMulInt64(int64(p), satMulInt64(fan, per))
+}
+
+// satMulInt64 multiplies non-negative operands, saturating at MaxInt64
+// so admission estimates never overflow into a small value.
+func satMulInt64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// collectiveEdgeBounds returns per-link message-capacity bounds for the
+// radix-rc collective tree rooted at node 0: a gather/reduce edge
+// (child leader → block leader) queues up to the child block's rank
+// count per collective (TreeGather forwards one message per rank), and
+// back-to-back collectives (the quantile strategy gathers values then
+// weights) can double that before the leader drains; broadcast edges
+// carry single messages.  Keys are from*p+to.
+func collectiveEdgeBounds(p, rc int) map[int]int {
+	edges := make(map[int]int)
+	bump := func(from, to, v int) {
+		if v > edges[from*p+to] {
+			edges[from*p+to] = v
+		}
+	}
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= 1 {
+			return
+		}
+		sub := (hi - lo + rc - 1) / rc
+		for s := lo; s < hi; s += sub {
+			end := s + sub
+			if end > hi {
+				end = hi
+			}
+			if s != lo {
+				bump(s, lo, 2*(end-s)+16)
+				bump(lo, s, 16)
+			}
+			rec(s, end)
+		}
+	}
+	rec(0, p)
+	return edges
+}
+
+// hierLinkBound builds the per-link capacity hint for a hierarchical
+// run: collective-tree edges get their block-size bounds, and each
+// round edge (sender → representative) gets room for the whole
+// dataset's worth of messages plus one end-of-stream sentinel per
+// destination in the target sub-block.  The dataset-sized bound is the
+// only statically safe one — an all-duplicate input funnels every key
+// through one destination's sub-block — but it is charged per *used*
+// link, and a node only has O(r) out-links per round, so the resident
+// capacity stays O(p·r·log_r p · N/msg) slots instead of the flat
+// path's O(p²) channels.
+func hierLinkBound(p int, topo Topology, radix, messageKeys int, totalKeys int64) func(from, to int) int {
+	lv := topoLevels(p, topo, radix)
+	coll := collectiveEdgeBounds(p, collectiveRadix(p, topo, radix))
+	if messageKeys <= 0 {
+		messageKeys = 1
+	}
+	dataMsgs := int((totalKeys + int64(messageKeys) - 1) / int64(messageKeys))
+	return func(from, to int) int {
+		b := coll[from*p+to]
+		for t := 0; t+1 < len(lv); t++ {
+			s, sub := lv[t], lv[t+1]
+			if from == to || from/s != to/s {
+				continue
+			}
+			slo := to / sub * sub
+			if routeStep(from, slo, s, sub, p) != to {
+				continue
+			}
+			end := slo + sub
+			if bhi := from/s*s + s; end > bhi {
+				end = bhi
+			}
+			if end > p {
+				end = p
+			}
+			if v := dataMsgs + (end - slo) + 16; v > b {
+				b = v
+			}
+		}
+		return b
+	}
+}

@@ -59,6 +59,27 @@ func RegularSamples(sorted []record.Key, spacing int64) []record.Key {
 	return out
 }
 
+// CombineSorted merges two sorted sample slices into one sorted slice —
+// the combining step of the hierarchical pivot aggregation, where each
+// inner tree node folds its children's samples before forwarding.  The
+// result is the sorted multiset union, so the root's candidate multiset
+// is exactly what a flat gather would have delivered.
+func CombineSorted(a, b []record.Key) []record.Key {
+	out := make([]record.Key, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // SelectPivots sorts the gathered candidates and picks p-1 pivots "in a
 // regular way": the candidates at positions j*len/p for j = 1..p-1.
 // This is step 2's final act on the designated node in the homogeneous

@@ -57,6 +57,15 @@ type JobSpec struct {
 	Pipeline    bool  `json:"pipeline,omitempty"`
 	Overlap     bool  `json:"overlap,omitempty"`
 	Seed        int64 `json:"seed,omitempty"`
+	// Topology selects the redistribution structure ("flat", "tree" or
+	// "grid"; empty = flat) and Radix the tree fan-in.  Besides changing
+	// the job's communication pattern, the topology changes its
+	// admission footprint: the flat all-to-all pins O(p²) link-buffer
+	// memory, which demand() charges against the machine budget — an
+	// over-subscribed flat job is rejected with 422 where the tree
+	// variant of the same spec fits.
+	Topology string `json:"topology,omitempty"`
+	Radix    int    `json:"radix,omitempty"`
 
 	// CrashNode/CrashPhase inject a node death at the end of phase
 	// CrashPhase (1..5) on fresh runs — the test hook that models the
@@ -131,7 +140,19 @@ func (sp *JobSpec) validate(store storage.Backend, m *MachineConfig) error {
 	if sp.CrashPhase < 0 || sp.CrashPhase > checkpoint.Phases {
 		return fmt.Errorf("service: crash_phase %d out of range 0..%d", sp.CrashPhase, checkpoint.Phases)
 	}
+	if _, err := extsort.ParseTopology(sp.Topology); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if sp.Radix < 0 {
+		return fmt.Errorf("service: radix %d must be non-negative", sp.Radix)
+	}
 	return nil
+}
+
+// topology parses the spec's (already validated) topology name.
+func (sp *JobSpec) topology() extsort.Topology {
+	t, _ := extsort.ParseTopology(sp.Topology)
+	return t
 }
 
 // JobStatus is the durable and API-visible record of one job.
@@ -282,6 +303,8 @@ func (s *Service) extsortConfig(spec *JobSpec) extsort.Config {
 		Seed:        spec.Seed,
 		Pipeline:    spec.Pipeline,
 		Overlap:     spec.Overlap,
+		Topology:    spec.topology(),
+		Radix:       spec.Radix,
 		Checkpoint:  true,
 		Merkle:      true,
 	}

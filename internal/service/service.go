@@ -23,6 +23,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"hetsort/internal/cluster"
+	"hetsort/internal/extsort"
 	"hetsort/internal/record"
 	"hetsort/internal/storage"
 )
@@ -218,10 +220,15 @@ func (s *Service) adopt(j *job, resume bool) {
 }
 
 // demand estimates a job's machine footprint for admission: memory is
-// each node's sort workspace, disk is 4× the input (input + initial
-// runs + received segments + output).  Products saturate at MaxInt64 so
-// an absurd spec reads as an infinite demand, not an overflowed small
-// (or negative) one that slips past the budget check.
+// each node's sort workspace plus the topology's resident link-buffer
+// footprint — every node buffers up to its peak redistribution fan-in
+// of in-flight messages, p per node for the flat all-to-all versus
+// O(r) for tree/grid, so a flat job at large p or message size is
+// rejected with 422 here instead of OOM-ing the host mid-run — and
+// disk is 4× the input (input + initial runs + received segments +
+// output).  Products saturate at MaxInt64 so an absurd spec reads as
+// an infinite demand, not an overflowed small (or negative) one that
+// slips past the budget check.
 func (s *Service) demand(spec *JobSpec) (mem, disk int64) {
 	p := len(s.cfg.Machine.Perf)
 	mk := spec.MemoryKeys
@@ -229,6 +236,14 @@ func (s *Service) demand(spec *JobSpec) (mem, disk int64) {
 		mk = 1 << 16
 	}
 	mem = satMul(satMul(int64(p), int64(mk)), record.KeySize)
+	links := extsort.Config{
+		MessageKeys: spec.MessageKeys,
+		Topology:    spec.topology(),
+		Radix:       spec.Radix,
+	}.LinkMemoryBytes(p)
+	if mem += links; mem < 0 {
+		mem = math.MaxInt64 // saturate the sum like the products
+	}
 	disk = satMul(4, spec.inputBytes(s.store))
 	return mem, disk
 }

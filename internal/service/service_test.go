@@ -150,6 +150,49 @@ func TestAdmissionBudget(t *testing.T) {
 	}
 }
 
+// TestAdmissionLinkMemoryTopology: the flat all-to-all pins p² link
+// buffers of MessageKeys each, which demand() now charges against the
+// machine memory; the same spec routed through the tree topology pins
+// only O(p·r) and must fit the same budget — the 422-instead-of-OOM
+// contract.
+func TestAdmissionLinkMemoryTopology(t *testing.T) {
+	cfg := testConfig()
+	// Workspace: 4 nodes × 1024 keys × 4 B = 16 KiB.  Flat links:
+	// 4·4·65536·4 B = 4 MiB > budget.  Tree links: 4·2·65536·4 = 2 MiB.
+	cfg.Machine.MemoryBytes = 3 << 20
+	s, err := New(cfg, storage.NewObject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	spec := testSpec(2000, 1)
+	spec.MessageKeys = 1 << 16
+	if _, err := s.Submit(spec); !errors.Is(err, ErrBudget) {
+		t.Fatalf("flat wide-message job: %v, want ErrBudget", err)
+	}
+	spec.Topology = "tree"
+	spec.Radix = 2
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("tree variant of the same spec: %v", err)
+	}
+	if err := s.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Status(id)
+	if st.State != StateDone {
+		t.Fatalf("tree job: %s (%s)", st.State, st.Error)
+	}
+	if root, err := VerifyJob(s.Store(), id); err != nil || root != st.Root {
+		t.Fatalf("verify: %q %v (want %q)", root, err, st.Root)
+	}
+	// An unknown topology must be rejected at validation.
+	spec.Topology = "torus"
+	if _, err := s.Submit(spec); err == nil || errors.Is(err, ErrBudget) {
+		t.Fatalf("unknown topology: %v", err)
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	s, err := New(testConfig(), storage.NewObject())
 	if err != nil {
