@@ -11,7 +11,14 @@
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
 // figure1, distributions, ablations, checkpoint, pipeline, overlap,
-// attribution, scaling, all.
+// attribution, scaling, regress, all.
+//
+// The regress experiment (not part of "all") is the perf-regression
+// gate: it re-runs the pipeline ablation and the scaling sweep at the
+// scales recorded in the committed BENCH_pipeline.json and
+// BENCH_scaling.json, diffs vsec within -tolerance percent and the
+// protocol-integer metrics exactly, writes BENCH_regress.json, and
+// exits non-zero if anything regressed.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
 // BENCH_pipeline.json, the overlap experiment (ablation A9: prefetch +
@@ -48,8 +55,10 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, scaling, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, scaling, regress, all")
 		maxP    = flag.Int("maxp", 1024, "largest cluster size the scaling experiment sweeps to")
+		tolPct  = flag.Float64("tolerance", 5, "regress gate: allowed vsec increase in percent before failing")
+		benchD  = flag.String("bench-dir", ".", "regress gate: directory holding the committed BENCH_*.json baselines")
 		seed    = flag.Int64("seed", 1, "base input seed")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -227,6 +236,26 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_scaling.json")
+			return nil
+		})
+	}
+
+	// Not part of "all" either: the gate re-runs pipeline and scaling at
+	// the baselines' committed scales, so it is a CI step, not a table.
+	if *which == "regress" {
+		run("regress", func() error {
+			rep, err := experiments.RegressionGate(o, *benchD, *tolPct, *maxP)
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.String())
+			if err := writeJSON("BENCH_regress.json", rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_regress.json")
+			if n := rep.Regressions(); n > 0 {
+				return fmt.Errorf("%d metric(s) regressed beyond the gate (vsec tolerance %.1f%%)", n, *tolPct)
+			}
 			return nil
 		})
 	}

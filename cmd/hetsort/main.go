@@ -54,6 +54,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume an interrupted checkpointed run from -checkpoint-dir")
 		crash    = flag.String("crash", "", "inject a crash for testing, as node:phase (e.g. 2:4)")
 		jsonFlag = flag.Bool("json", false, "print a machine-readable JSON result object (errors included) to stdout")
+		progFlag = flag.Bool("progress", false, "repaint a live per-node progress table on stderr while sorting, then print the straggler analysis")
 	)
 	flag.Parse()
 	jsonMode = *jsonFlag
@@ -125,11 +126,21 @@ func main() {
 		cfg.Checkpoint.CrashPhase = phase
 	}
 
+	var rend *progressRenderer
+	if *progFlag {
+		tr := hetsort.NewProgressTracker()
+		cfg.Progress = tr
+		rend = startProgressRenderer(tr)
+	}
+
 	var rep *hetsort.Report
 	if *resume {
 		rep, err = hetsort.Resume(*output, cfg)
 	} else {
 		rep, err = hetsort.SortFile(*input, *output, cfg)
+	}
+	if rend != nil {
+		rend.finish()
 	}
 	if err != nil {
 		if hetsort.IsCrash(err) {
@@ -150,6 +161,11 @@ func main() {
 	default:
 		fmt.Printf("sorted in %.3f virtual s; S(max)=%.4f; partitions=%v\n",
 			rep.Time, rep.SublistExpansion, rep.PartitionSizes)
+	}
+	if *progFlag {
+		if sr, serr := rep.Stragglers(); serr == nil {
+			fmt.Fprint(os.Stderr, sr.String())
+		}
 	}
 	if *withGant {
 		fmt.Print(rep.Gantt)

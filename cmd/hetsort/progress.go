@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hetsort/internal/progress"
+)
+
+// progressRenderer repaints a tracker's snapshot table in place on
+// stderr on a host-time cadence while the sort runs.  Sampling reads
+// only atomics, so the repaints never perturb the run's virtual-time
+// attribution or its output.
+type progressRenderer struct {
+	tr   *progress.Tracker
+	stop chan struct{}
+	done chan struct{}
+	last int // lines painted by the previous frame
+}
+
+func startProgressRenderer(tr *progress.Tracker) *progressRenderer {
+	r := &progressRenderer{tr: tr, stop: make(chan struct{}), done: make(chan struct{})}
+	go r.loop()
+	return r
+}
+
+func (r *progressRenderer) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.paint()
+		}
+	}
+}
+
+// paint redraws the table over the previous frame (cursor-up + clear),
+// so the table stays in place instead of scrolling.
+func (r *progressRenderer) paint() {
+	s := r.tr.Snapshot()
+	if s == nil {
+		return
+	}
+	table := s.Table()
+	if r.last > 0 {
+		fmt.Fprintf(os.Stderr, "\x1b[%dA\x1b[J", r.last)
+	}
+	fmt.Fprint(os.Stderr, table)
+	r.last = strings.Count(table, "\n")
+}
+
+// finish stops the repaint loop and leaves the final table on screen.
+func (r *progressRenderer) finish() {
+	close(r.stop)
+	<-r.done
+	r.paint()
+}

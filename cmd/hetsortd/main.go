@@ -13,6 +13,11 @@
 //
 //	hetsortd verify -store dir:/var/lib/hetsortd job-0000
 //
+// Lint a scraped /metrics page against the Prometheus text exposition
+// format (promtool-style; reads stdin when no file is given):
+//
+//	curl -s localhost:8080/metrics | hetsortd promlint
+//
 // The store is either a directory (dir:PATH) or the in-memory object
 // store (mem, useful only for demos: state dies with the process).
 package main
@@ -20,12 +25,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"hetsort"
+	"hetsort/internal/metrics"
 	"hetsort/internal/service"
 	"hetsort/internal/storage"
 )
@@ -35,7 +42,37 @@ func main() {
 		verifyMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "promlint" {
+		promlintMain(os.Args[2:])
+		return
+	}
 	serveMain(os.Args[1:])
+}
+
+// promlintMain validates a text-exposition page (file args or stdin)
+// so CI can assert /metrics parses without carrying promtool.
+func promlintMain(args []string) {
+	lint := func(name string, data []byte) {
+		if err := metrics.LintExposition(data); err != nil {
+			fatal(fmt.Errorf("hetsortd: promlint %s: %w", name, err))
+		}
+		fmt.Printf("%s: valid Prometheus text exposition\n", name)
+	}
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		lint("stdin", data)
+		return
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		lint(path, data)
+	}
 }
 
 func openStore(spec string) (storage.Backend, error) {

@@ -31,6 +31,7 @@ import (
 	"hetsort/internal/extsort"
 	"hetsort/internal/perf"
 	"hetsort/internal/polyphase"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 	"hetsort/internal/trace"
 	"hetsort/internal/vtime"
@@ -170,7 +171,19 @@ type Config struct {
 	Radix int
 	// Checkpoint controls the fault-tolerance subsystem.
 	Checkpoint CheckpointConfig
+	// Progress, when set, lets other goroutines sample live per-node,
+	// per-step snapshots while the sort runs (see internal/progress):
+	// create a tracker with NewProgressTracker, set it here, and call
+	// its Snapshot method concurrently with Sort/SortFile/Resume.
+	// Sampling reads only atomically published state, so it never
+	// perturbs virtual-time attribution or the output.  Only meaningful
+	// for AlgorithmExternalPSRS.
+	Progress *progress.Tracker
 }
+
+// NewProgressTracker returns a tracker to set on Config.Progress; see
+// the internal/progress package for the snapshot shape.
+func NewProgressTracker() *progress.Tracker { return progress.NewTracker() }
 
 // CheckpointConfig controls crash tolerance.  With Enabled, every node
 // durably commits a checkpoint manifest to its disk at each of the five
@@ -328,6 +341,7 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 		Overlap:      c.Overlap,
 		Topology:     topo,
 		Radix:        c.Radix,
+		Progress:     c.Progress,
 	}, nil
 }
 

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"hetsort"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 )
 
@@ -58,6 +60,13 @@ type Run struct {
 	// completed with Resume (step-wise budgets do not apply: recovery
 	// legitimately redoes work).
 	Resumed bool
+	// Progress holds the live snapshots a host-time sampler collected
+	// while the run executed, in sample order; the last element is
+	// FinalProgress.  The progress invariant checks their monotonicity.
+	Progress []*progress.Snapshot
+	// FinalProgress is the post-run snapshot (taken after Sort/Resume
+	// returned), reconciled byte-exactly against Report.NodeIO.
+	FinalProgress *progress.Snapshot
 	// Err is the run error, if any.
 	Err error
 }
@@ -152,10 +161,60 @@ func Execute(c *Case, opts RunOptions) *Outcome {
 	return o
 }
 
-// execute performs one in-memory sort run.
+// execute performs one in-memory sort run with a live progress sampler
+// attached, so every harness run also exercises the introspection path.
 func execute(label string, keys []hetsort.Key, cfg hetsort.Config) Run {
+	tr := hetsort.NewProgressTracker()
+	cfg.Progress = tr
+	smp := startSampler(tr)
 	out, rep, err := hetsort.Sort(keys, cfg)
-	return Run{Label: label, Config: cfg, Output: out, Report: rep, Err: err}
+	run := Run{Label: label, Config: cfg, Output: out, Report: rep, Err: err}
+	run.Progress, run.FinalProgress = smp.finish()
+	return run
+}
+
+// progressSampler polls a tracker on a host-time cadence from a
+// separate goroutine — the same shape as hetsortd's SSE loop — so the
+// snapshots genuinely race the run they observe.
+type progressSampler struct {
+	tr    *progress.Tracker
+	stop  chan struct{}
+	done  chan struct{}
+	snaps []*progress.Snapshot
+}
+
+func startSampler(tr *progress.Tracker) *progressSampler {
+	s := &progressSampler{tr: tr, stop: make(chan struct{}), done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+func (s *progressSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if snap := s.tr.Snapshot(); snap != nil {
+				s.snaps = append(s.snaps, snap)
+			}
+		}
+	}
+}
+
+// finish stops the sampler and returns the collected snapshots plus a
+// final post-run snapshot (appended, so it is also the last element).
+func (s *progressSampler) finish() ([]*progress.Snapshot, *progress.Snapshot) {
+	close(s.stop)
+	<-s.done
+	final := s.tr.Snapshot()
+	if final != nil {
+		s.snaps = append(s.snaps, final)
+	}
+	return s.snaps, final
 }
 
 // executeCrashResume runs the case with durable checkpoints, kills one
@@ -180,32 +239,42 @@ func executeCrashResume(c *Case, opts RunOptions) Run {
 	cfg.WorkDir = filepath.Join(dir, "disks")
 	cfg.Checkpoint = hetsort.CheckpointConfig{Enabled: true, CrashPhase: phase, CrashNode: victim}
 
-	_, _, err = hetsort.Sort(c.Keys, cfg)
-	if err == nil {
-		return Run{Label: label, Config: cfg,
-			Err: fmt.Errorf("injected crash at phase %d on node %d did not fire", phase, victim)}
-	}
-	if !hetsort.IsCrash(err) {
-		return Run{Label: label, Config: cfg, Err: fmt.Errorf("expected an injected crash, got: %w", err)}
-	}
+	// One tracker spans the crashed attempt AND the resume: Seq must
+	// stay monotonic across the boundary while the Run generation bumps
+	// (the progress invariant checks both).
+	tr := hetsort.NewProgressTracker()
+	cfg.Progress = tr
+	smp := startSampler(tr)
+	run := func() Run {
+		_, _, err := hetsort.Sort(c.Keys, cfg)
+		if err == nil {
+			return Run{Label: label, Config: cfg,
+				Err: fmt.Errorf("injected crash at phase %d on node %d did not fire", phase, victim)}
+		}
+		if !hetsort.IsCrash(err) {
+			return Run{Label: label, Config: cfg, Err: fmt.Errorf("expected an injected crash, got: %w", err)}
+		}
 
-	resumeCfg := cfg
-	resumeCfg.Checkpoint = hetsort.CheckpointConfig{Enabled: true}
-	outPath := filepath.Join(dir, "resumed.u32")
-	rep, err := hetsort.Resume(outPath, resumeCfg)
-	if err != nil {
-		return Run{Label: label, Config: resumeCfg, Err: fmt.Errorf("resume after crash@%d: %w", phase, err), Resumed: true}
-	}
-	raw, err := os.ReadFile(outPath)
-	if err != nil {
-		return Run{Label: label, Config: resumeCfg, Err: err, Resumed: true}
-	}
-	if len(raw)%record.KeySize != 0 {
-		return Run{Label: label, Config: resumeCfg, Resumed: true,
-			Err: fmt.Errorf("resumed output is %d bytes, not a multiple of %d", len(raw), record.KeySize)}
-	}
-	out := record.DecodeKeys(make([]hetsort.Key, 0, len(raw)/record.KeySize), raw)
-	return Run{Label: label, Config: resumeCfg, Output: out, Report: rep, Resumed: true}
+		resumeCfg := cfg
+		resumeCfg.Checkpoint = hetsort.CheckpointConfig{Enabled: true}
+		outPath := filepath.Join(dir, "resumed.u32")
+		rep, err := hetsort.Resume(outPath, resumeCfg)
+		if err != nil {
+			return Run{Label: label, Config: resumeCfg, Err: fmt.Errorf("resume after crash@%d: %w", phase, err), Resumed: true}
+		}
+		raw, err := os.ReadFile(outPath)
+		if err != nil {
+			return Run{Label: label, Config: resumeCfg, Err: err, Resumed: true}
+		}
+		if len(raw)%record.KeySize != 0 {
+			return Run{Label: label, Config: resumeCfg, Resumed: true,
+				Err: fmt.Errorf("resumed output is %d bytes, not a multiple of %d", len(raw), record.KeySize)}
+		}
+		out := record.DecodeKeys(make([]hetsort.Key, 0, len(raw)/record.KeySize), raw)
+		return Run{Label: label, Config: resumeCfg, Output: out, Report: rep, Resumed: true}
+	}()
+	run.Progress, run.FinalProgress = smp.finish()
+	return run
 }
 
 // Failure is one invariant violation on one case.

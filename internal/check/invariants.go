@@ -7,6 +7,7 @@ import (
 	"hetsort"
 	"hetsort/internal/pdm"
 	"hetsort/internal/perf"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 	"hetsort/internal/vtime"
 )
@@ -95,6 +96,12 @@ func Registry() []Invariant {
 			Name:  "attribution",
 			Doc:   "per node, compute+disk+network+idle virtual time sums exactly to the clock, and no category is negative",
 			Check: eachRun(checkAttribution),
+		},
+		{
+			Name:    "progress",
+			Doc:     "live snapshots are monotone (seq strictly increasing, run generation non-decreasing, per-node clock and per-step I/O cells non-decreasing within a generation) and the final snapshot reconciles exactly with the report's PDM counters",
+			Applies: appliesPSRS, // the DeWitt baseline executor never binds a tracker
+			Check:   eachRun(checkProgress),
 		},
 	}
 }
@@ -287,6 +294,76 @@ func checkAttribution(_ *Case, r *Run) error {
 			if err := b.Validate(); err != nil {
 				return fmt.Errorf("node %d step %s: %w", i, stepName(s), err)
 			}
+		}
+	}
+	return nil
+}
+
+// checkProgress validates the sampler's snapshot stream: sequence
+// numbers strictly increase (also across a crash-resume boundary), the
+// run generation never goes backwards, and within one generation each
+// node's clock and per-step I/O cells are monotone non-decreasing —
+// the counters are cumulative atomics, so any decrease means a sampler
+// read tore or a reset leaked into a live run.  The final snapshot
+// must be marked done and its per-node I/O must equal the report's
+// PDM counters exactly (post-run verification reads are deliberately
+// not charged, so the figures reconcile to the block).
+func checkProgress(_ *Case, r *Run) error {
+	if r.FinalProgress == nil {
+		return fmt.Errorf("no final progress snapshot recorded")
+	}
+	var prev *progress.Snapshot
+	for _, s := range r.Progress {
+		for i := range s.Nodes {
+			np := &s.Nodes[i]
+			var sum pdm.IOStats
+			for _, cell := range np.StepIO {
+				sum = sum.Add(cell)
+			}
+			if sum != np.IO {
+				return fmt.Errorf("seq %d node %d: IO %+v != sum of step cells %+v", s.Seq, i, np.IO, sum)
+			}
+		}
+		if prev != nil {
+			if s.Seq <= prev.Seq {
+				return fmt.Errorf("seq %d follows %d: not strictly increasing", s.Seq, prev.Seq)
+			}
+			if s.Run < prev.Run {
+				return fmt.Errorf("run generation went backwards: %d after %d (seq %d)", s.Run, prev.Run, s.Seq)
+			}
+			if s.Run == prev.Run && len(s.Nodes) == len(prev.Nodes) {
+				for i := range s.Nodes {
+					a, b := &prev.Nodes[i], &s.Nodes[i]
+					if b.Clock < a.Clock {
+						return fmt.Errorf("node %d clock decreased %.9f -> %.9f (seq %d -> %d)",
+							i, a.Clock, b.Clock, prev.Seq, s.Seq)
+					}
+					for ph := range b.StepIO {
+						x, y := a.StepIO[ph], b.StepIO[ph]
+						if y.Reads < x.Reads || y.Writes < x.Writes || y.Seeks < x.Seeks {
+							return fmt.Errorf("node %d step %s I/O cell decreased %+v -> %+v (seq %d -> %d)",
+								i, progress.StepName(ph), x, y, prev.Seq, s.Seq)
+						}
+					}
+				}
+			}
+		}
+		prev = s
+	}
+	f := r.FinalProgress
+	if !f.Done {
+		return fmt.Errorf("final snapshot (seq %d) not marked done", f.Seq)
+	}
+	if r.Report == nil {
+		return nil
+	}
+	if len(f.Nodes) != len(r.Report.NodeIO) {
+		return fmt.Errorf("final snapshot has %d nodes, report %d", len(f.Nodes), len(r.Report.NodeIO))
+	}
+	for i := range f.Nodes {
+		if f.Nodes[i].IO != r.Report.NodeIO[i] {
+			return fmt.Errorf("node %d: final snapshot IO %+v != report PDM counters %+v",
+				i, f.Nodes[i].IO, r.Report.NodeIO[i])
 		}
 	}
 	return nil

@@ -102,10 +102,10 @@ type Cluster struct {
 	net   NetModel
 	trace *trace.Log
 
-	links    []linkState // row-major [from*p+to], channels created lazily
-	linkMu   sync.Mutex  // guards channel creation and capacity growth
-	linkDef  int         // Config.LinkBuffer: capacity for links with no hint
-	linkCap  int         // uniform minimum set by EnsureLinkCapacity
+	links    []linkState            // row-major [from*p+to], channels created lazily
+	linkMu   sync.Mutex             // guards channel creation and capacity growth
+	linkDef  int                    // Config.LinkBuffer: capacity for links with no hint
+	linkCap  int                    // uniform minimum set by EnsureLinkCapacity
 	linkCapF func(from, to int) int // per-link hint set by EnsureLinkCapacityFunc
 
 	// payloads recycles message payload buffers across the whole
@@ -422,6 +422,7 @@ func (c *Cluster) MaxClock() float64 {
 func (c *Cluster) ResetClocks() {
 	for _, n := range c.nodes {
 		n.clock = 0
+		n.liveClock.Store(0)
 		n.attr = vtime.Breakdown{}
 		n.overlapCaps = nil
 		n.overlapCap = 0
@@ -513,6 +514,13 @@ type Node struct {
 	contend  func() float64
 	clock    float64
 	counter  pdm.Counter
+
+	// liveClock mirrors clock as atomically published float bits so
+	// progress samplers in other goroutines can read a node's virtual
+	// time mid-run.  Only the node goroutine writes it (in ChargeTime);
+	// it is a pure observation channel and never feeds back into the
+	// simulation, so vtime attribution is unperturbed.
+	liveClock atomic.Uint64
 
 	// attr splits the clock into compute/disk/network/idle: every
 	// clock advance charges exactly one category, so the categories
@@ -630,8 +638,17 @@ func (n *Node) AdvanceClock(dt float64) {
 // unscaled virtual seconds attributed to cat.
 func (n *Node) ChargeTime(cat vtime.Category, sec float64) {
 	n.clock += sec
+	n.liveClock.Store(math.Float64bits(n.clock))
 	n.attr.Charge(cat, sec)
 	n.crashIfDue()
+}
+
+// LiveClock returns the node's virtual time as last published by
+// ChargeTime.  Unlike Clock it is safe to call from any goroutine while
+// the cluster is running, which is what the progress sampler needs; it
+// may lag Clock by at most the charge currently being applied.
+func (n *Node) LiveClock() float64 {
+	return math.Float64frombits(n.liveClock.Load())
 }
 
 // Attribution returns the node's clock split into compute / disk /

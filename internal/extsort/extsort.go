@@ -30,6 +30,7 @@ import (
 	"hetsort/internal/pdm"
 	"hetsort/internal/perf"
 	"hetsort/internal/polyphase"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 	"hetsort/internal/sampling"
 	"hetsort/internal/trace"
@@ -146,6 +147,15 @@ type Config struct {
 	// resume fingerprint — it changes no output byte.  Requires
 	// Checkpoint.
 	Merkle bool
+	// Progress, when set, is bound to the cluster at the start of the
+	// run so other goroutines can sample live per-node, per-step
+	// snapshots while Algorithm 1 executes (see internal/progress).  It
+	// is a pure observation channel: sampling reads only atomics and
+	// changes no virtual-time charge, no output byte, and — like
+	// Pipeline/Overlap/Merkle — it is excluded from the resume
+	// fingerprint.  The same tracker may span Sort and a later Resume;
+	// rebinding keeps its snapshot sequence monotonic.
+	Progress *progress.Tracker
 }
 
 // sig fingerprints the parameters that must match between an
@@ -362,6 +372,9 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	} else {
 		c.EnsureLinkCapacity(cluster.LinkBound(maxPortion, cfg.MessageKeys))
 	}
+	if cfg.Progress != nil {
+		cfg.Progress.Bind(c, cfg.Perf, totalKeys, cfg.BlockKeys)
+	}
 
 	err := c.Run(func(n *cluster.Node) error {
 		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
@@ -395,6 +408,9 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 		}
 		res.StepTimes[s] = end - prev
 		prev = end
+	}
+	if cfg.Progress != nil {
+		cfg.Progress.MarkDone()
 	}
 	return res, nil
 }

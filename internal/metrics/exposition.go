@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format version 0.0.4, which Exposition.WriteTo emits.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Exposition builds a Prometheus text-format (0.0.4) metrics page:
+// every metric family gets exactly one # HELP and # TYPE comment,
+// families are emitted in stable lexical order, metric names are
+// sanitized to the legal charset, and label values are escaped.  Use
+// one per scrape; it is not safe for concurrent use.
+type Exposition struct {
+	prefix   string
+	families map[string]*expoFamily
+}
+
+type expoFamily struct {
+	name, help, typ string
+	samples         []expoSample
+}
+
+type expoSample struct {
+	suffix string // "" for the family series, "_bucket" etc. for histogram children
+	labels string // rendered "{...}" or ""
+	value  float64
+}
+
+// NewExposition returns a builder whose metric names are all prefixed
+// with prefix+"_" (pass "" for no prefix).
+func NewExposition(prefix string) *Exposition {
+	return &Exposition{prefix: prefix, families: make(map[string]*expoFamily)}
+}
+
+// Counter adds a counter sample.  Repeated calls with the same name and
+// different labels add series to the same family; help from the first
+// call wins.
+func (e *Exposition) Counter(name, help string, v float64, labels []Label) {
+	e.add(name, help, "counter", "", labels, v)
+}
+
+// Gauge adds a gauge sample.
+func (e *Exposition) Gauge(name, help string, v float64, labels []Label) {
+	e.add(name, help, "gauge", "", labels, v)
+}
+
+// Histogram adds a Histogram as a full Prometheus histogram family:
+// cumulative `_bucket{le="..."}` series over the non-empty power-of-two
+// buckets plus the mandatory `+Inf` bucket, `_sum`, and `_count`.
+func (e *Exposition) Histogram(name, help string, h *Histogram, labels []Label) {
+	f := e.family(name, help, "histogram")
+	var cum int64
+	for _, b := range h.BucketCounts() {
+		cum += b.Count
+		le := append(append([]Label(nil), labels...),
+			Label{Name: "le", Value: formatExpoValue(b.UpperBound)})
+		f.samples = append(f.samples, expoSample{suffix: "_bucket", labels: renderLabels(le), value: float64(cum)})
+	}
+	inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	f.samples = append(f.samples, expoSample{suffix: "_bucket", labels: renderLabels(inf), value: float64(h.Count())})
+	f.samples = append(f.samples, expoSample{suffix: "_sum", labels: renderLabels(labels), value: h.Sum()})
+	f.samples = append(f.samples, expoSample{suffix: "_count", labels: renderLabels(labels), value: float64(h.Count())})
+}
+
+func (e *Exposition) add(name, help, typ, suffix string, labels []Label, v float64) {
+	f := e.family(name, help, typ)
+	f.samples = append(f.samples, expoSample{suffix: suffix, labels: renderLabels(labels), value: v})
+}
+
+func (e *Exposition) family(name, help, typ string) *expoFamily {
+	full := SanitizeMetricName(e.prefix, name)
+	f, ok := e.families[full]
+	if !ok {
+		f = &expoFamily{name: full, help: help, typ: typ}
+		e.families[full] = f
+	}
+	return f
+}
+
+// WriteTo renders the page: families sorted by name, one HELP/TYPE pair
+// each, then the family's samples in insertion order.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	names := make([]string, 0, len(e.families))
+	for n := range e.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := e.families[n]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatExpoValue(s.value))
+		}
+	}
+	nn, err := io.WriteString(w, b.String())
+	return int64(nn), err
+}
+
+// SanitizeMetricName joins prefix and name with '_' and maps every byte
+// outside the legal metric-name charset [a-zA-Z0-9_:] to '_' (the
+// registry's dotted names become underscored), prepending '_' if the
+// result would start with a digit.
+func SanitizeMetricName(prefix, name string) string {
+	full := name
+	if prefix != "" {
+		full = prefix + "_" + name
+	}
+	var b []byte
+	for i := 0; i < len(full); i++ {
+		c := full[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "_"
+	}
+	return string(b)
+}
+
+// renderLabels renders `{a="x",b="y"}` with escaped values, or "" when
+// there are no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeMetricName("", l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the 0.0.4 label-value escapes: backslash,
+// double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeHelp applies the HELP-text escapes (backslash and newline; the
+// format leaves quotes alone here).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// formatExpoValue renders a sample value or `le` bound the way
+// Prometheus expects: shortest float representation, integers without
+// an exponent.
+func formatExpoValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	var one Histogram
+	one.Observe(3.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 3.5 {
+			t.Errorf("single-observation Quantile(%g) = %g, want the observation 3.5", q, got)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	// q=0 still ranks the first observation (upper bound within one
+	// power-of-two bucket); q=1 must cap at Max, not the bucket bound.
+	if lo, hi := h.Quantile(0), h.Quantile(1); lo > hi || lo <= 0 || lo > 2 {
+		t.Errorf("Quantile(0) = %g, want in (0, 2] and <= Quantile(1) = %g", lo, hi)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %g, want Max 8", got)
+	}
+}
+
+func TestObserveNaN(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	h.Observe(math.NaN())
+	h.Observe(4)
+	if s := h.Sum(); math.IsNaN(s) || s != 6 {
+		t.Errorf("Sum = %g after a NaN observation, want 6 (NaN recorded as 0)", s)
+	}
+	if mn := h.Min(); math.IsNaN(mn) || mn != 0 {
+		t.Errorf("Min = %g, want 0", mn)
+	}
+	if mx := h.Max(); math.IsNaN(mx) || mx != 4 {
+		t.Errorf("Max = %g, want 4", mx)
+	}
+	if n := h.Count(); n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+
+	var seeded Histogram
+	seeded.Observe(math.NaN()) // NaN as the FIRST observation must not wedge min/max
+	seeded.Observe(5)
+	if mx := seeded.Max(); mx != 5 {
+		t.Errorf("Max = %g after NaN-seeded histogram, want 5", mx)
+	}
+}
+
+func TestExpositionLintsClean(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.1, 0.5, 2, 2, 7} {
+		h.Observe(v)
+	}
+	e := NewExposition("hetsortd")
+	e.Counter("jobs_done_total", "Jobs that completed successfully.", 3, nil)
+	e.Gauge("jobs_running", "Jobs currently executing.", 1, nil)
+	e.Gauge("job_eta_vsec", "Projected remaining virtual seconds.", 0.25,
+		[]Label{{Name: "job", Value: `weird"job\n` + "\nnewline"}})
+	e.Histogram("job_vsec", "Virtual makespan of completed jobs.", &h, nil)
+
+	var b strings.Builder
+	if _, err := e.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if err := LintExposition([]byte(page)); err != nil {
+		t.Fatalf("exposition output fails its own linter:\n%s\n%v", page, err)
+	}
+	for _, want := range []string{
+		"# TYPE hetsortd_jobs_done_total counter",
+		"hetsortd_jobs_done_total 3\n",
+		`hetsortd_job_vsec_bucket{le="+Inf"} 5`,
+		"hetsortd_job_vsec_count 5",
+		`\"`, `\\`, `\n`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition page missing %q:\n%s", want, page)
+		}
+	}
+	// Families must come out in stable lexical order.
+	if i, j := strings.Index(page, "hetsortd_job_eta_vsec"), strings.Index(page, "hetsortd_jobs_done_total"); i > j {
+		t.Errorf("families not in lexical order (job_eta_vsec at %d after jobs_done_total at %d)", i, j)
+	}
+}
+
+func TestLintExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate TYPE":      "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"TYPE after sample":   "a 1\n# TYPE a counter\n",
+		"unknown type":        "# TYPE a exotic\na 1\n",
+		"bad metric name":     "1bad 2\n",
+		"unquoted label":      "a{x=y} 1\n",
+		"bad value":           "a{x=\"y\"} one\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+		"+Inf disagrees with count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+	}
+	for name, page := range cases {
+		if err := LintExposition([]byte(page)); err == nil {
+			t.Errorf("%s: lint accepted invalid page:\n%s", name, page)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"disk.blocks_read": "disk_blocks_read",
+		"9lives":           "_9lives",
+		"a:b":              "a:b",
+	} {
+		if got := SanitizeMetricName("", in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := SanitizeMetricName("hetsortd", "jobs"); got != "hetsortd_jobs" {
+		t.Errorf("prefixed name = %q, want hetsortd_jobs", got)
+	}
+}

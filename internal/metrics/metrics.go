@@ -84,8 +84,15 @@ func bucketUpper(b int) float64 {
 	return math.Ldexp(1, b-histZero)
 }
 
-// Observe records one sample.
+// Observe records one sample.  NaN is recorded as 0: letting it
+// through would make Sum NaN forever (addFloat propagates it on every
+// later observation) and wedge min/max when it seeds them (casFloat's
+// comparisons against NaN are always false), leaking NaN into every
+// Snapshot.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		v = 0
+	}
 	h.count.Add(1)
 	h.buckets[bucketOf(v)].Add(1)
 	addFloat(&h.sumBits, v)
@@ -175,6 +182,26 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.Max()
+}
+
+// BucketCount is one non-empty histogram bucket: the inclusive upper
+// bound of its value range and the number of observations in it.
+type BucketCount struct {
+	UpperBound float64
+	Count      int64
+}
+
+// BucketCounts returns the histogram's non-empty buckets in ascending
+// bound order — the raw (non-cumulative) counts the Prometheus
+// exposition accumulates into `_bucket{le=...}` series.
+func (h *Histogram) BucketCounts() []BucketCount {
+	var out []BucketCount
+	for b := 0; b < histBuckets; b++ {
+		if n := h.buckets[b].Load(); n > 0 {
+			out = append(out, BucketCount{UpperBound: bucketUpper(b), Count: n})
+		}
+	}
+	return out
 }
 
 // Registry holds a node's named metrics.  The zero value is not usable;

@@ -1,0 +1,308 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates data against the Prometheus text exposition
+// format 0.0.4 the way a promtool-style linter would: metric-name and
+// label syntax, float-parsable values, HELP/TYPE placement (at most one
+// TYPE per family, before the family's samples), and histogram
+// consistency (cumulative buckets, mandatory +Inf equal to `_count`).
+// It returns the first violation found, with its line number.
+func LintExposition(data []byte) error {
+	type familyState struct {
+		typ       string
+		sawSample bool
+		sawHelp   bool
+		sawType   bool
+	}
+	families := make(map[string]*familyState)
+	// histogram bookkeeping: per family, per non-le label set, the
+	// bucket series and the _count value.
+	type histSeries struct {
+		buckets []struct {
+			le  float64
+			cum float64
+		}
+		count    float64
+		hasCount bool
+	}
+	hists := make(map[string]map[string]*histSeries)
+
+	get := func(name string) *familyState {
+		f, ok := families[name]
+		if !ok {
+			f = &familyState{}
+			families[name] = f
+		}
+		return f
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+				name := fields[0]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+				}
+				f := get(name)
+				if f.sawHelp {
+					return fmt.Errorf("line %d: second HELP for %s", lineNo, name)
+				}
+				f.sawHelp = true
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(rest[len("TYPE "):])
+				if len(fields) != 2 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := fields[0], fields[1]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				f := get(name)
+				if f.sawType {
+					return fmt.Errorf("line %d: second TYPE for %s", lineNo, name)
+				}
+				if f.sawSample {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.sawType = true
+				f.typ = typ
+			}
+			continue // other comments are legal and ignored
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		// Resolve the family: histogram/summary children belong to the
+		// base name when a matching TYPE was declared.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, suffix)
+			if b != name {
+				if f, ok := families[b]; ok && (f.typ == "histogram" || f.typ == "summary") {
+					base = b
+					break
+				}
+			}
+		}
+		f := get(base)
+		f.sawSample = true
+
+		if f.typ == "histogram" {
+			hs, ok := hists[base]
+			if !ok {
+				hs = make(map[string]*histSeries)
+				hists[base] = hs
+			}
+			var le string
+			var rest []string
+			hasLE := false
+			for _, l := range labels {
+				if l.Name == "le" {
+					le, hasLE = l.Value, true
+				} else {
+					rest = append(rest, l.Name+"="+l.Value)
+				}
+			}
+			sort.Strings(rest)
+			key := strings.Join(rest, ",")
+			s, ok := hs[key]
+			if !ok {
+				s = &histSeries{}
+				hs[key] = s
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLE {
+					return fmt.Errorf("line %d: %s without an le label", lineNo, name)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+				}
+				s.buckets = append(s.buckets, struct{ le, cum float64 }{bound, value})
+			case strings.HasSuffix(name, "_count"):
+				s.count, s.hasCount = value, true
+			}
+		}
+	}
+
+	// Post-pass: every histogram label set must have cumulative buckets
+	// ending in +Inf that agrees with _count.
+	for fam, hs := range hists {
+		for key, s := range hs {
+			where := fam
+			if key != "" {
+				where = fam + "{" + key + "}"
+			}
+			if len(s.buckets) == 0 {
+				return fmt.Errorf("histogram %s has no buckets", where)
+			}
+			sort.Slice(s.buckets, func(a, b int) bool { return s.buckets[a].le < s.buckets[b].le })
+			last := s.buckets[len(s.buckets)-1]
+			if !isInf(last.le) {
+				return fmt.Errorf("histogram %s lacks the +Inf bucket", where)
+			}
+			prev := -1.0
+			for _, b := range s.buckets {
+				if b.cum < prev {
+					return fmt.Errorf("histogram %s buckets are not cumulative at le=%g", where, b.le)
+				}
+				prev = b.cum
+			}
+			if s.hasCount && last.cum != s.count {
+				return fmt.Errorf("histogram %s +Inf bucket %g != count %g", where, last.cum, s.count)
+			}
+		}
+	}
+	return nil
+}
+
+func isInf(v float64) bool { return math.IsInf(v, +1) }
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine parses `name{l="v",...} value [timestamp]`.
+func parseSampleLine(line string) (string, []Label, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			start := i
+			for i < len(line) && line[i] != '=' {
+				i++
+			}
+			if i == len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label list")
+			}
+			lname := line[start:i]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			i++ // '='
+			if i >= len(line) || line[i] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s: value is not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			closed := false
+			for i < len(line) {
+				c := line[i]
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("label %s: dangling escape", lname)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("label %s: invalid escape \\%c", lname, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					i++
+					break
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			labels = append(labels, Label{Name: lname, Value: val.String()})
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] after %s, got %q", name, line[i:])
+	}
+	v, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest[0], err)
+	}
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q: %v", rest[1], err)
+		}
+	}
+	return name, labels, v, nil
+}

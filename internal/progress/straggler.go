@@ -1,0 +1,186 @@
+package progress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetsort/internal/pdm"
+)
+
+// Classification thresholds.  A node whose declared-to-observed
+// relative-speed ratio reaches SlowNodeRatio is flagged slow (the perf
+// vector over-promised it, or a co-tenant is contending for its
+// machine); a node whose final partition exceeds OverloadExpansion
+// times its perf share is flagged overloaded (Theorem 1 bounds the
+// expansion at 2·share plus duplicate multiplicity, so values past 1.5
+// already mean the pivots did a poor job for this node).
+const (
+	SlowNodeRatio     = 1.25
+	OverloadExpansion = 1.5
+)
+
+// Kind classifies a node's divergence from the perf model.
+type Kind string
+
+const (
+	KindOK                  Kind = "ok"
+	KindSlowNode            Kind = "slow-node"
+	KindOverloadedPartition Kind = "overloaded-partition"
+)
+
+// RunStats is the post-run evidence the straggler analyzer consumes —
+// all of it already present on a hetsort Report.
+type RunStats struct {
+	// Perf is the declared perf vector the decomposition trusted.
+	Perf []int
+	// Busy is each node's non-idle virtual seconds (clock minus
+	// idle-wait): the denominator for observed throughput, so barrier
+	// waits caused by *other* nodes don't dilute a node's own speed.
+	Busy []float64
+	// IO is each node's total PDM block transfers — the work proxy.
+	IO []pdm.IOStats
+	// PartitionSizes is the final per-node key count (Theorem-1 data);
+	// optional, enables the overloaded-partition classification.
+	PartitionSizes []int64
+}
+
+// Divergence is one node's scorecard.
+type Divergence struct {
+	Node int `json:"node"`
+	// DeclaredSpeed and ObservedSpeed are relative speeds normalized so
+	// the fastest node is 1.0: declared from the perf vector, observed
+	// from block transfers per busy virtual second.
+	DeclaredSpeed float64 `json:"declared_speed"`
+	ObservedSpeed float64 `json:"observed_speed"`
+	// Ratio is declared/observed: 1.0 means the node ran exactly as
+	// fast, relative to its peers, as the perf vector promised; 3.0
+	// means it delivered a third of its declared relative speed.
+	Ratio float64 `json:"ratio"`
+	// Expansion is the node's final partition over its perf share
+	// (the paper's per-node S metric; 0 when partition data is absent).
+	Expansion float64 `json:"expansion"`
+	Kind      Kind    `json:"kind"`
+	Severity  float64 `json:"severity"`
+	Detail    string  `json:"detail"`
+}
+
+// StragglerReport ranks every node by how badly it diverges from the
+// declared perf model, worst first.
+type StragglerReport struct {
+	Ranked  []Divergence `json:"ranked"`
+	Flagged int          `json:"flagged"` // nodes with Kind != ok
+}
+
+// Analyze compares observed per-node throughput against the declared
+// perf vector and classifies each node's divergence, distinguishing a
+// machine that is slower than declared (mis-calibration, contention)
+// from one that was handed too large a partition (skew): an overloaded
+// node does proportionally more work in proportionally more busy time,
+// so its throughput ratio stays near 1 while its expansion grows.
+func Analyze(st RunStats) (*StragglerReport, error) {
+	p := len(st.Perf)
+	if p == 0 {
+		return nil, fmt.Errorf("progress: empty perf vector")
+	}
+	if len(st.Busy) != p || len(st.IO) != p {
+		return nil, fmt.Errorf("progress: inconsistent run stats: perf %d entries, busy %d, io %d",
+			p, len(st.Busy), len(st.IO))
+	}
+
+	maxPerf := 0
+	var perfSum int64
+	for _, f := range st.Perf {
+		if f <= 0 {
+			return nil, fmt.Errorf("progress: non-positive perf entry %d", f)
+		}
+		if f > maxPerf {
+			maxPerf = f
+		}
+		perfSum += int64(f)
+	}
+
+	thr := make([]float64, p)
+	var maxThr float64
+	for i := range thr {
+		if st.Busy[i] > 0 {
+			thr[i] = float64(st.IO[i].Total()) / st.Busy[i]
+		}
+		if thr[i] > maxThr {
+			maxThr = thr[i]
+		}
+	}
+
+	var totalPart int64
+	for _, q := range st.PartitionSizes {
+		totalPart += q
+	}
+
+	rep := &StragglerReport{Ranked: make([]Divergence, p)}
+	for i := 0; i < p; i++ {
+		d := &rep.Ranked[i]
+		d.Node = i
+		d.DeclaredSpeed = float64(st.Perf[i]) / float64(maxPerf)
+		if maxThr > 0 {
+			d.ObservedSpeed = thr[i] / maxThr
+		}
+		if d.ObservedSpeed > 0 {
+			d.Ratio = d.DeclaredSpeed / d.ObservedSpeed
+		} else {
+			// A node that moved no blocks (degenerate share) has
+			// nothing to compare; treat it as on-model.
+			d.Ratio = 1
+		}
+		if len(st.PartitionSizes) == p && totalPart > 0 {
+			share := float64(st.Perf[i]) / float64(perfSum) * float64(totalPart)
+			if share > 0 {
+				d.Expansion = float64(st.PartitionSizes[i]) / share
+			}
+		}
+		switch {
+		case d.Ratio >= SlowNodeRatio && d.Ratio >= d.Expansion:
+			d.Kind = KindSlowNode
+			d.Severity = d.Ratio
+			d.Detail = fmt.Sprintf(
+				"ran at %.0f%% of its declared relative speed (declared %.2f, observed %.2f): mis-calibrated perf entry or a contended tenant",
+				100/d.Ratio, d.DeclaredSpeed, d.ObservedSpeed)
+		case d.Expansion >= OverloadExpansion:
+			d.Kind = KindOverloadedPartition
+			d.Severity = d.Expansion
+			d.Detail = fmt.Sprintf(
+				"final partition is %.2fx its perf share (Theorem 1 allows up to 2x plus duplicates): skewed pivots or duplicate-heavy keys",
+				d.Expansion)
+		default:
+			d.Kind = KindOK
+			d.Severity = d.Ratio
+			if d.Expansion > d.Severity {
+				d.Severity = d.Expansion
+			}
+		}
+	}
+	sort.SliceStable(rep.Ranked, func(a, b int) bool {
+		return rep.Ranked[a].Severity > rep.Ranked[b].Severity
+	})
+	for _, d := range rep.Ranked {
+		if d.Kind != KindOK {
+			rep.Flagged++
+		}
+	}
+	return rep, nil
+}
+
+// String renders the ranked divergence table, worst node first.
+func (r *StragglerReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "straggler analysis: %d of %d nodes diverge from the perf model\n",
+		r.Flagged, len(r.Ranked))
+	fmt.Fprintf(&b, "%-5s %-22s %9s %9s %7s %7s  %s\n",
+		"node", "kind", "declared", "observed", "ratio", "S(i)", "detail")
+	for i := range r.Ranked {
+		d := &r.Ranked[i]
+		fmt.Fprintf(&b, "%-5d %-22s %9.2f %9.2f %7.2f %7.2f  %s\n",
+			d.Node, string(d.Kind), d.DeclaredSpeed, d.ObservedSpeed,
+			d.Ratio, d.Expansion, d.Detail)
+	}
+	return b.String()
+}

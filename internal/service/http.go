@@ -7,7 +7,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
+	"hetsort/internal/metrics"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 	"hetsort/internal/storage"
 )
@@ -36,7 +39,10 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //	GET  /jobs/{id}/result   the sorted output, concatenated, as bytes
 //	GET  /jobs/{id}/trace    the job's Chrome trace_event JSON (Perfetto)
-//	GET  /metrics            service counters, text exposition
+//	GET  /jobs/{id}/progress live per-node progress snapshot (JSON); with
+//	                         Accept: text/event-stream (or ?stream=1), an
+//	                         SSE stream of snapshots until the job ends
+//	GET  /metrics            Prometheus text exposition (0.0.4)
 //	PUT  /objects/{name...}  upload an input object (names under inputs/)
 //	GET  /objects/{name...}  download any backend object
 func (s *Service) Handler() http.Handler {
@@ -47,6 +53,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("PUT /objects/{name...}", s.handlePutObject)
 	mux.HandleFunc("GET /objects/{name...}", s.handleGetObject)
@@ -131,22 +138,128 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// progressResponse is the GET /jobs/{id}/progress body (and each SSE
+// data payload).  Snapshot is null until the job's run has started.
+type progressResponse struct {
+	ID       string             `json:"id"`
+	State    string             `json:"state"`
+	Snapshot *progress.Snapshot `json:"snapshot,omitempty"`
+}
+
+func (j *job) progressResponse() progressResponse {
+	resp := progressResponse{ID: j.id, State: j.State()}
+	if tr := j.tracker(); tr != nil {
+		resp.Snapshot = tr.Snapshot()
+	}
+	return resp
+}
+
+// terminal reports whether a job state can no longer change.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	stream := r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		writeJSON(w, http.StatusOK, j.progressResponse())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("service: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func(event string, resp progressResponse) bool {
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return false
+		}
+		if event != "" {
+			fmt.Fprintf(w, "event: %s\n", event)
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", body); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		resp := j.progressResponse()
+		if terminal(resp.State) {
+			emit("done", resp)
+			return
+		}
+		if !emit("", resp) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			emit("done", j.progressResponse())
+			return
+		case <-tick.C:
+		}
+	}
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	running, queued := s.running, len(s.queue)
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "hetsortd_jobs_running %d\n", running)
-	fmt.Fprintf(w, "hetsortd_jobs_queued %d\n", queued)
-	fmt.Fprintf(w, "hetsortd_jobs_submitted_total %d\n", s.nSubmitted.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_done_total %d\n", s.nDone.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_failed_total %d\n", s.nFailed.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_canceled_total %d\n", s.nCanceled.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_rejected_queue_total %d\n", s.nRejectedQueue.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_rejected_budget_total %d\n", s.nRejectedBudget.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_recovered_total %d\n", s.nRecovered.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_resumed_total %d\n", s.nResumed.Load())
-	fmt.Fprintf(w, "hetsortd_jobs_resume_fallback_total %d\n", s.nResumedFallback.Load())
+	e := metrics.NewExposition("hetsortd")
+	e.Gauge("jobs_running", "Jobs currently executing on the shared machine.", float64(running), nil)
+	e.Gauge("jobs_queued", "Jobs admitted and waiting for a running slot.", float64(queued), nil)
+	e.Gauge("tenants", "Tenants sharing the machine right now (the disk/network contention factor).", float64(s.tenants.Load()), nil)
+	e.Counter("jobs_submitted_total", "Jobs accepted by the admission controller.", float64(s.nSubmitted.Load()), nil)
+	e.Counter("jobs_done_total", "Jobs that completed successfully.", float64(s.nDone.Load()), nil)
+	e.Counter("jobs_failed_total", "Jobs that ended in an error.", float64(s.nFailed.Load()), nil)
+	e.Counter("jobs_canceled_total", "Jobs canceled by the client.", float64(s.nCanceled.Load()), nil)
+	e.Counter("jobs_rejected_queue_total", "Submissions rejected because the queue was full (429).", float64(s.nRejectedQueue.Load()), nil)
+	e.Counter("jobs_rejected_budget_total", "Submissions rejected by the memory/disk budget (422).", float64(s.nRejectedBudget.Load()), nil)
+	e.Counter("jobs_recovered_total", "Jobs re-admitted from the backend after a daemon restart.", float64(s.nRecovered.Load()), nil)
+	e.Counter("jobs_resumed_total", "Recovered jobs resumed from their checkpoint manifests.", float64(s.nResumed.Load()), nil)
+	e.Counter("jobs_resume_fallback_total", "Recovered jobs re-run fresh because no manifest had committed.", float64(s.nResumedFallback.Load()), nil)
+	e.Histogram("job_vsec", "Virtual makespan of completed jobs in seconds.", &s.jobVsec, nil)
+	// Per-running-job series: bounded by MaxJobs, so the `job` label's
+	// cardinality stays small.
+	for _, j := range s.runningJobs() {
+		tr := j.tracker()
+		if tr == nil {
+			continue
+		}
+		snap := tr.Snapshot()
+		if snap == nil {
+			continue
+		}
+		lbl := []metrics.Label{{Name: "job", Value: j.id}}
+		var moved int64
+		maxStep := 0
+		for i := range snap.Nodes {
+			moved += snap.Nodes[i].KeysMoved
+			if snap.Nodes[i].Step > maxStep {
+				maxStep = snap.Nodes[i].Step
+			}
+		}
+		e.Gauge("job_clock_vsec", "Running job's max node virtual clock.", snap.Time, lbl)
+		e.Gauge("job_keys_moved", "Running job's keys moved through disk so far.", float64(moved), lbl)
+		e.Gauge("job_eta_vsec", "Running job's projected remaining virtual seconds.", snap.ETA, lbl)
+		e.Gauge("job_step", "Running job's furthest current Algorithm-1 step across nodes.", float64(maxStep), lbl)
+	}
+	w.Header().Set("Content-Type", metrics.ExpositionContentType)
+	e.WriteTo(w)
 }
 
 func (s *Service) handlePutObject(w http.ResponseWriter, r *http.Request) {

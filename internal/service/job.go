@@ -16,6 +16,7 @@ import (
 	"hetsort/internal/extsort"
 	"hetsort/internal/merkle"
 	"hetsort/internal/perf"
+	"hetsort/internal/progress"
 	"hetsort/internal/record"
 	"hetsort/internal/storage"
 	"hetsort/internal/trace"
@@ -182,10 +183,11 @@ type job struct {
 
 	statusMu sync.Mutex
 	status   JobStatus
-	cl       *cluster.Cluster // non-nil while running
-	canceled bool             // Cancel was called
-	stopping bool             // Stop interrupted it (keep durable "running")
-	resume   bool             // recovered job: resume from checkpoints
+	cl       *cluster.Cluster  // non-nil while running
+	prog     *progress.Tracker // live sampling handle, set when the run starts
+	canceled bool              // Cancel was called
+	stopping bool              // Stop interrupted it (keep durable "running")
+	resume   bool              // recovered job: resume from checkpoints
 
 	memBytes, diskBytes int64
 	done                chan struct{}
@@ -202,6 +204,16 @@ func (j *job) State() string {
 	j.statusMu.Lock()
 	defer j.statusMu.Unlock()
 	return j.status.State
+}
+
+// tracker returns the job's progress tracker: nil before the run
+// starts, and the settled final state after it ends (the tracker stays
+// sampleable once set, so a late GET /jobs/{id}/progress still sees the
+// completed totals).
+func (j *job) tracker() *progress.Tracker {
+	j.statusMu.Lock()
+	defer j.statusMu.Unlock()
+	return j.prog
 }
 
 func (j *job) setState(state, errMsg string) {
@@ -408,8 +420,10 @@ func (s *Service) run(j *job) error {
 	if err != nil {
 		return err
 	}
+	tr := progress.NewTracker()
 	j.statusMu.Lock()
 	j.cl = cl
+	j.prog = tr
 	j.status.State = StateRunning
 	resume := j.resume
 	canceled := j.canceled
@@ -427,6 +441,7 @@ func (s *Service) run(j *job) error {
 	}
 
 	ecfg := s.extsortConfig(&j.spec)
+	ecfg.Progress = tr
 	var res *extsort.Result
 	var want record.Checksum
 	if resume {

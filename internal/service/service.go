@@ -32,6 +32,7 @@ import (
 
 	"hetsort/internal/cluster"
 	"hetsort/internal/extsort"
+	"hetsort/internal/metrics"
 	"hetsort/internal/record"
 	"hetsort/internal/storage"
 )
@@ -120,6 +121,10 @@ type Service struct {
 	nSubmitted, nDone, nFailed, nCanceled  atomic.Int64
 	nRejectedQueue, nRejectedBudget        atomic.Int64
 	nRecovered, nResumed, nResumedFallback atomic.Int64
+
+	// jobVsec observes every completed job's virtual makespan; /metrics
+	// exposes it as a Prometheus histogram (the bucket-exposition path).
+	jobVsec metrics.Histogram
 }
 
 // New builds a service over the given backend and recovers every job
@@ -142,6 +147,29 @@ func New(cfg Config, store storage.Backend) (*Service, error) {
 
 // Store returns the service's storage backend.
 func (s *Service) Store() storage.Backend { return s.store }
+
+// jobByID returns the in-memory job handle, if the id is known.
+func (s *Service) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runningJobs returns the handles of currently running jobs in
+// submission order (for the per-job /metrics series — bounded by
+// MaxJobs, so the label cardinality stays small).
+func (s *Service) runningJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && j.State() == StateRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
 
 // Machine returns the shared machine configuration.
 func (s *Service) Machine() MachineConfig { return s.cfg.Machine }
@@ -332,6 +360,7 @@ func (s *Service) finish(j *job) {
 	switch j.State() {
 	case StateDone:
 		s.nDone.Add(1)
+		s.jobVsec.Observe(j.Status().Time)
 	case StateCanceled:
 		s.nCanceled.Add(1)
 	default:

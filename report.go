@@ -8,6 +8,7 @@ import (
 	"hetsort/internal/extsort"
 	"hetsort/internal/pdm"
 	"hetsort/internal/perf"
+	"hetsort/internal/progress"
 	"hetsort/internal/sampling"
 	"hetsort/internal/trace"
 	"hetsort/internal/vtime"
@@ -150,6 +151,30 @@ func newReport(res *extsort.Result, v perf.Vector) *Report {
 		}
 	}
 	return r
+}
+
+// Stragglers runs the perf-model divergence analysis over the report:
+// each node's observed throughput (block transfers per non-idle virtual
+// second) against its declared perf entry, and its final partition
+// against its Theorem-1 share.  Nodes come back ranked worst first,
+// classified as slow-node (mis-calibrated perf or contention) or
+// overloaded-partition (pivot skew).  Requires the per-node attribution
+// (always present for external PSRS runs).
+func (r *Report) Stragglers() (*progress.StragglerReport, error) {
+	if len(r.NodeBreakdown) != len(r.Perf) {
+		return nil, fmt.Errorf("hetsort: report has no per-node attribution (%d breakdowns for %d nodes)",
+			len(r.NodeBreakdown), len(r.Perf))
+	}
+	busy := make([]float64, len(r.NodeBreakdown))
+	for i, b := range r.NodeBreakdown {
+		busy[i] = b.Compute + b.Disk + b.Network
+	}
+	return progress.Analyze(progress.RunStats{
+		Perf:           r.Perf,
+		Busy:           busy,
+		IO:             r.NodeIO,
+		PartitionSizes: r.PartitionSizes,
+	})
 }
 
 // String renders a human-readable summary.
