@@ -10,18 +10,22 @@
 //	benchtab -experiment pipeline -cpuprofile cpu.pprof
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
-// figure1, distributions, ablations, checkpoint, pipeline, overlap,
+// figure1, distributions, ablations, checkpoint, pipeline, pdm, overlap,
 // attribution, scaling, regress, all.
 //
 // The regress experiment (not part of "all") is the perf-regression
-// gate: it re-runs the pipeline ablation and the scaling sweep at the
-// scales recorded in the committed BENCH_pipeline.json and
-// BENCH_scaling.json, diffs vsec within -tolerance percent and the
-// protocol-integer metrics exactly, writes BENCH_regress.json, and
-// exits non-zero if anything regressed.
+// gate: it re-runs the pipeline and pdm ablations and the scaling sweep
+// at the scales recorded in the committed BENCH_pipeline.json,
+// BENCH_pdm.json and BENCH_scaling.json, diffs vsec within -tolerance
+// percent and the protocol-integer metrics exactly, writes
+// BENCH_regress.json, and exits non-zero if anything regressed.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
-// BENCH_pipeline.json, the overlap experiment (ablation A9: prefetch +
+// BENCH_pipeline.json, the pdm experiment (ablation A10: the multi-disk
+// D sweep plus the sequential-phase run-formation and galloping-merge
+// kernels, self-checked for byte-identical output and equal block I/O
+// where the change is timing- or compute-only) writes BENCH_pdm.json,
+// the overlap experiment (ablation A9: prefetch +
 // write-behind against the synchronous I/O path) writes
 // BENCH_overlap.json, and the attribution experiment — where each
 // node's virtual time went (compute/disk/network/idle) and the per-step
@@ -55,7 +59,7 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, overlap, attribution, scaling, regress, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, pdm, overlap, attribution, scaling, regress, all")
 		maxP    = flag.Int("maxp", 1024, "largest cluster size the scaling experiment sweeps to")
 		tolPct  = flag.Float64("tolerance", 5, "regress gate: allowed vsec increase in percent before failing")
 		benchD  = flag.String("bench-dir", ".", "regress gate: directory holding the committed BENCH_*.json baselines")
@@ -201,6 +205,22 @@ func main() {
 			return err
 		}
 		fmt.Println("wrote BENCH_pipeline.json")
+		return nil
+	})
+	run("pdm", func() error {
+		rows, err := experiments.PDMAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.PDMString(rows))
+		if err := writeJSON("BENCH_pdm.json", struct {
+			Experiment string               `json:"experiment"`
+			SizeShift  uint                 `json:"size_shift"`
+			Rows       []experiments.PDMRow `json:"rows"`
+		}{"pdm", *shift, rows}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_pdm.json")
 		return nil
 	})
 	run("overlap", func() error {

@@ -36,6 +36,9 @@ func main() {
 		memory   = flag.Int("memory", 1<<16, "per-node memory M in keys")
 		tapes    = flag.Int("tapes", 15, "polyphase merge file count")
 		msg      = flag.Int("msg", 8192, "redistribution message size in keys")
+		disks    = flag.Int("disks", 1, "PDM disks per node D: node files are striped over D member disks")
+		diskAcc  = flag.String("disk-access", hetsort.DiskAccessStriped, "multi-disk scheduling model: striped, independent (timing only)")
+		runForm  = flag.String("run-formation", hetsort.RunReplacementSelection, "initial run former: replacement-selection, load-sort, guidesort")
 		network  = flag.String("net", hetsort.NetworkFastEthernet, "network model: fast-ethernet, myrinet, ideal")
 		gen      = flag.Int64("gen", 0, "generate this many keys into -input instead of sorting")
 		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered)")
@@ -100,18 +103,21 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := hetsort.Config{
-		Perf:        perfV,
-		BlockKeys:   *block,
-		MemoryKeys:  *memory,
-		Tapes:       *tapes,
-		MessageKeys: *msg,
-		Network:     *network,
-		WorkDir:     *workdir,
-		Trace:       *withGant || *traceOut != "" || *evtsOut != "",
-		Pipeline:    *pipeline,
-		Overlap:     *overlap,
-		Topology:    *topology,
-		Radix:       *radix,
+		Perf:         perfV,
+		BlockKeys:    *block,
+		MemoryKeys:   *memory,
+		Tapes:        *tapes,
+		MessageKeys:  *msg,
+		Disks:        *disks,
+		DiskAccess:   *diskAcc,
+		RunFormation: *runForm,
+		Network:      *network,
+		WorkDir:      *workdir,
+		Trace:        *withGant || *traceOut != "" || *evtsOut != "",
+		Pipeline:     *pipeline,
+		Overlap:      *overlap,
+		Topology:     *topology,
+		Radix:        *radix,
 	}
 	if *ckptDir != "" {
 		cfg.WorkDir = *ckptDir

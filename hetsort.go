@@ -29,6 +29,7 @@ import (
 	"hetsort/internal/dewitt"
 	"hetsort/internal/diskio"
 	"hetsort/internal/extsort"
+	"hetsort/internal/pdm"
 	"hetsort/internal/perf"
 	"hetsort/internal/polyphase"
 	"hetsort/internal/progress"
@@ -52,6 +53,20 @@ const (
 const (
 	RunReplacementSelection = "replacement-selection"
 	RunLoadSort             = "load-sort"
+	RunGuidesort            = "guidesort"
+)
+
+// Disk-access names accepted by Config.DiskAccess.
+const (
+	// DiskAccessStriped schedules multi-disk I/O in lockstep stripes
+	// (the PDM's striped model, default): a parallel I/O step completes
+	// when the slowest involved member disk does, and breaking the
+	// round-robin order costs a new step.
+	DiskAccessStriped = "striped"
+	// DiskAccessIndependent lets each member disk serve requests
+	// independently (the PDM's independent model): any D distinct disks
+	// can transfer concurrently regardless of order.
+	DiskAccessIndependent = "independent"
 )
 
 // Algorithm names accepted by Config.Algorithm.
@@ -114,6 +129,17 @@ type Config struct {
 	Tapes int
 	// MessageKeys is the redistribution message size in keys (default 8192).
 	MessageKeys int
+	// Disks is the PDM D parameter: the number of member disks per node
+	// (default 1).  With D > 1 every node file is striped block-by-block
+	// across D disks, sequential scans complete up to D times faster
+	// (per-disk queues overlap the member transfers), and per-disk I/O
+	// counters appear in Report.DiskIO.  I/O counts and output bytes are
+	// independent of D.
+	Disks int
+	// DiskAccess selects the multi-disk scheduling model by name:
+	// DiskAccessStriped (default) or DiskAccessIndependent.  Timing
+	// only; ignored at D = 1.
+	DiskAccess string
 	// Network selects the interconnect model by name (default
 	// NetworkFastEthernet).
 	Network string
@@ -235,8 +261,21 @@ func (c Config) runFormation() (polyphase.RunFormation, error) {
 		return polyphase.ReplacementSelection, nil
 	case RunLoadSort:
 		return polyphase.LoadSort, nil
+	case RunGuidesort:
+		return polyphase.Guidesort, nil
 	default:
 		return 0, fmt.Errorf("hetsort: unknown run formation %q", c.RunFormation)
+	}
+}
+
+func (c Config) diskAccess() (pdm.AccessMode, error) {
+	switch c.DiskAccess {
+	case "", DiskAccessStriped:
+		return pdm.Striped, nil
+	case DiskAccessIndependent:
+		return pdm.Independent, nil
+	default:
+		return 0, fmt.Errorf("hetsort: unknown disk access mode %q", c.DiskAccess)
 	}
 }
 
@@ -251,6 +290,10 @@ func (c Config) blockKeys() int {
 // returning the optional trace log alongside it.
 func (c Config) newCluster(v perf.Vector) (*cluster.Cluster, *trace.Log, error) {
 	net, err := c.network()
+	if err != nil {
+		return nil, nil, err
+	}
+	access, err := c.diskAccess()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -284,11 +327,13 @@ func (c Config) newCluster(v perf.Vector) (*cluster.Cluster, *trace.Log, error) 
 		}
 	}
 	cl, err := cluster.New(cluster.Config{
-		Slowdowns: loads,
-		Net:       net,
-		BlockKeys: c.blockKeys(),
-		Disks:     disks,
-		Trace:     tl,
+		Slowdowns:    loads,
+		Net:          net,
+		BlockKeys:    c.blockKeys(),
+		Disks:        disks,
+		DisksPerNode: c.Disks,
+		DiskAccess:   access,
+		Trace:        tl,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -333,6 +378,7 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 		MemoryKeys:   c.MemoryKeys,
 		Tapes:        c.Tapes,
 		MessageKeys:  c.MessageKeys,
+		Disks:        c.Disks,
 		RunFormation: rf,
 		Strategy:     strat,
 		QuantileEps:  c.QuantileEps,

@@ -149,6 +149,21 @@ func Execute(c *Case, opts RunOptions) *Outcome {
 			cfg.Topology, cfg.Radix = hetsort.TopologyFlat, 0
 			o.Runs = append(o.Runs, execute("flat", c.Keys, cfg))
 		}
+		// Disks is an equivalence axis too: the PDM D parameter is
+		// timing-only, so a multi-disk node must reproduce the
+		// single-disk output (and I/O counts — the disk invariant
+		// checks those) byte for byte.  A single-disk base gets a
+		// striped D=4 variant; a multi-disk base gets the single-disk
+		// reference run.
+		if base.Disks <= 1 {
+			cfg := base
+			cfg.Disks = 4
+			o.Runs = append(o.Runs, execute("disks/d4", c.Keys, cfg))
+		} else {
+			cfg := base
+			cfg.Disks, cfg.DiskAccess = 0, ""
+			o.Runs = append(o.Runs, execute("disks/d1", c.Keys, cfg))
+		}
 		if !base.Checkpoint.Enabled {
 			cfg := base
 			cfg.Checkpoint = hetsort.CheckpointConfig{Enabled: true}
@@ -298,9 +313,10 @@ func Check(c *Case, opts RunOptions, filter string) []Failure {
 	if len(invs) == 0 {
 		return nil
 	}
-	if !selected(invs, "equivalence") && !selected(invs, "error") {
-		// Variants exist to be compared (equivalence) and to surface
-		// run errors; with both filtered out the base run suffices.
+	if !selected(invs, "equivalence") && !selected(invs, "error") && !selected(invs, "disk") {
+		// Variants exist to be compared (equivalence, the cross-D half
+		// of disk) and to surface run errors; with all three filtered
+		// out the base run suffices.
 		opts.NoVariants = true
 	}
 	o := Execute(c, opts)

@@ -81,6 +81,12 @@ func Registry() []Invariant {
 			},
 		},
 		{
+			Name:    "disk",
+			Doc:     "the PDM D parameter is timing-only: per-disk counters sum exactly to the node counters, DiskIO is absent at D <= 1, and the disks axis leaves every node's block transfers and seeks unchanged",
+			Applies: appliesPSRS,
+			Check:   checkDisk,
+		},
+		{
 			Name:    "balance",
 			Doc:     "Theorem 1: with regular sampling, node i's final partition holds at most 2*share_i keys (+ the worst duplicate multiplicity, which ties route to one node)",
 			Applies: appliesBalance,
@@ -271,6 +277,65 @@ func stepBudgets(pp pdm.Params, cfg hetsort.Config, p int, li, qi int64) [5]int6
 	b[3] = lb + 2*qb + int64(2*p) + ioSlack
 	b[4] = pp.MergeIOs(qi, int64(p), int64(cfg.Tapes)) + ioSlack
 	return b
+}
+
+// checkDisk verifies the multi-disk accounting contract on every run
+// (per-disk counters sum to the node counters; no per-disk view at
+// D <= 1) and, across runs, that the "disks/*" equivalence variants
+// moved exactly the same blocks as the base run — D changes when I/O
+// happens, never how much of it.
+func checkDisk(o *Outcome) error {
+	for i := range o.Runs {
+		r := &o.Runs[i]
+		if r.Err != nil || r.Report == nil {
+			continue
+		}
+		if r.Config.Disks <= 1 {
+			if r.Report.DiskIO != nil {
+				return fmt.Errorf("run %q: Report.DiskIO populated at D=1", r.Label)
+			}
+			continue
+		}
+		if len(r.Report.DiskIO) != len(r.Report.NodeIO) {
+			return fmt.Errorf("run %q: DiskIO covers %d nodes, report has %d",
+				r.Label, len(r.Report.DiskIO), len(r.Report.NodeIO))
+		}
+		for n, dio := range r.Report.DiskIO {
+			if len(dio) != r.Config.Disks {
+				return fmt.Errorf("run %q: node %d has %d disk entries, want %d",
+					r.Label, n, len(dio), r.Config.Disks)
+			}
+			var sum pdm.IOStats
+			for _, s := range dio {
+				sum = sum.Add(s)
+			}
+			if sum != r.Report.NodeIO[n] {
+				return fmt.Errorf("run %q: node %d per-disk sum %+v != node counters %+v",
+					r.Label, n, sum, r.Report.NodeIO[n])
+			}
+		}
+	}
+	base := &o.Runs[0]
+	if base.Err != nil || base.Report == nil {
+		return nil
+	}
+	for i := 1; i < len(o.Runs); i++ {
+		r := &o.Runs[i]
+		if r.Err != nil || r.Report == nil || !strings.HasPrefix(r.Label, "disks/") {
+			continue
+		}
+		if len(r.Report.NodeIO) != len(base.Report.NodeIO) {
+			return fmt.Errorf("run %q: %d nodes, base has %d",
+				r.Label, len(r.Report.NodeIO), len(base.Report.NodeIO))
+		}
+		for n := range r.Report.NodeIO {
+			if r.Report.NodeIO[n] != base.Report.NodeIO[n] {
+				return fmt.Errorf("run %q: node %d PDM I/O %+v differs from base %+v (D must be timing-only)",
+					r.Label, n, r.Report.NodeIO[n], base.Report.NodeIO[n])
+			}
+		}
+	}
+	return nil
 }
 
 func checkAttribution(_ *Case, r *Run) error {

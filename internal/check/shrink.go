@@ -65,6 +65,10 @@ func Shrink(c *Case, invariant string, opts RunOptions, maxRuns int) *Case {
 		},
 		stringAxis(func(g *hetsort.Config) *string { return &g.Network }),
 		stringAxis(func(g *hetsort.Config) *string { return &g.RunFormation }),
+		// DiskAccess before Disks: an access-mode-dependent failure
+		// keeps both, a mode-independent one shrinks to striped first.
+		stringAxis(func(g *hetsort.Config) *string { return &g.DiskAccess }),
+		intAxis(func(g *hetsort.Config) *int { return &g.Disks }),
 		// Radix before Topology: a radix-dependent failure keeps both,
 		// a radix-independent one shrinks to the default radix first.
 		intAxis(func(g *hetsort.Config) *int { return &g.Radix }),
@@ -219,6 +223,12 @@ func configLiteral(cfg hetsort.Config) string {
 	}
 	if cfg.Network != "" {
 		add("Network: %q", cfg.Network)
+	}
+	if cfg.Disks != 0 {
+		add("Disks: %d", cfg.Disks)
+	}
+	if cfg.DiskAccess != "" {
+		add("DiskAccess: %q", cfg.DiskAccess)
 	}
 	if cfg.RunFormation != "" {
 		add("RunFormation: %q", cfg.RunFormation)

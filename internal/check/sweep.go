@@ -68,7 +68,7 @@ func Sweep(opts Options) *Summary {
 	// With neither equivalence nor error selected, Check skips the
 	// variant runs; mirror that in the run accounting.
 	invs := Select(opts.Invariants)
-	variants := selected(invs, "equivalence") || selected(invs, "error")
+	variants := selected(invs, "equivalence") || selected(invs, "error") || selected(invs, "disk")
 	for i, c := range cases {
 		ro := RunOptions{Scratch: opts.Scratch, QuickTopology: opts.Quick}
 		if opts.Quick && i%4 != 0 {
@@ -116,7 +116,7 @@ func runsPerCase(c *Case, ro RunOptions) int {
 	if c.Config.Algorithm != "" && c.Config.Algorithm != hetsort.AlgorithmExternalPSRS {
 		return 1
 	}
-	runs := 4 // base + pipeline + overlap + pipeline+overlap
+	runs := 5 // base + pipeline + overlap + pipeline+overlap + cross-D disks
 	if flatTopology(c.Config) {
 		runs += 4 // tree/r2 + grid + tree/r4 + tree/r16
 		if ro.QuickTopology {
@@ -207,6 +207,14 @@ func CornerCases(quick bool) []*Case {
 	add("n<p/grid", []hetsort.Key{3, 1, 2}, func(cfg *hetsort.Config) {
 		cfg.Topology = hetsort.TopologyGrid
 	})
+	// Multi-disk bases: duplicates and degenerate sizes on striped and
+	// independent D-disk nodes (Execute adds the single-disk reference
+	// run for the cross-D equivalence compare).
+	add("all-equal/d4", allEqual(600), func(cfg *hetsort.Config) { cfg.Disks = 4 })
+	add("n<p/d2-independent", []hetsort.Key{3, 1, 2}, func(cfg *hetsort.Config) {
+		cfg.Disks = 2
+		cfg.DiskAccess = hetsort.DiskAccessIndependent
+	})
 	if !quick {
 		add("off-quantum/tree-r4", record.Uniform.Generate(1009, 13, 8), func(cfg *hetsort.Config) {
 			cfg.Perf = []int{1, 1, 4, 4, 1, 1, 4, 4}
@@ -216,6 +224,17 @@ func CornerCases(quick bool) []*Case {
 		add("all-equal/hetero", allEqual(2040), func(cfg *hetsort.Config) { cfg.Perf = []int{8, 5, 3, 1} })
 		add("sorted/load-sort", seq(2000, false), func(cfg *hetsort.Config) {
 			cfg.RunFormation = hetsort.RunLoadSort
+		})
+		add("reverse/guidesort", seq(2000, true), func(cfg *hetsort.Config) {
+			cfg.RunFormation = hetsort.RunGuidesort
+		})
+		// D crossed with a hierarchical topology: multi-round
+		// redistribution over striped node disks.
+		add("off-quantum/d4/tree-r4", record.Uniform.Generate(1009, 17, 8), func(cfg *hetsort.Config) {
+			cfg.Perf = []int{1, 1, 4, 4, 1, 1, 4, 4}
+			cfg.Topology = hetsort.TopologyTree
+			cfg.Radix = 4
+			cfg.Disks = 4
 		})
 		add("reverse/dewitt", seq(2000, true), func(cfg *hetsort.Config) {
 			cfg.Algorithm = hetsort.AlgorithmDeWitt
@@ -241,8 +260,23 @@ func GenerateCase(seed int64, quick bool) *Case {
 
 	strategies := []string{"", hetsort.PivotOverpartitioning, hetsort.PivotRandom, hetsort.PivotQuantileSketch}
 	cfg.PivotStrategy = strategies[r.Intn(len(strategies))]
-	if r.Intn(2) == 1 {
+	switch r.Intn(3) {
+	case 1:
 		cfg.RunFormation = hetsort.RunLoadSort
+	case 2:
+		cfg.RunFormation = hetsort.RunGuidesort
+	}
+	// Disks: mostly the single-disk default, with striped and
+	// independent multi-disk points so the disk invariant and the
+	// cross-D equivalence variant also start from a D > 1 base.
+	switch r.Intn(4) {
+	case 0:
+		cfg.Disks = 2
+	case 1:
+		cfg.Disks = 4
+		if r.Intn(2) == 1 {
+			cfg.DiskAccess = hetsort.DiskAccessIndependent
+		}
 	}
 	// Topology: mostly flat (the default), with hierarchical points so
 	// the equivalence axis also starts from a non-flat base (Execute
@@ -314,6 +348,12 @@ func GenerateCase(seed int64, quick bool) *Case {
 		name += "/" + cfg.Topology
 		if cfg.Topology == hetsort.TopologyTree {
 			name += fmt.Sprintf("-r%d", cfg.Radix)
+		}
+	}
+	if cfg.Disks > 1 {
+		name += fmt.Sprintf("/d%d", cfg.Disks)
+		if cfg.DiskAccess == hetsort.DiskAccessIndependent {
+			name += "-ind"
 		}
 	}
 	return &Case{Name: name, Seed: seed, Keys: keys, Config: cfg}

@@ -108,16 +108,13 @@ func HashFile(fs diskio.FS, name string, blockKeys int, acct diskio.Accounting) 
 	}
 	h := sha256.New()
 	buf := make([]byte, blockKeys*record.KeySize)
+	var off int64
 	for {
 		n, err := f.Read(buf)
 		if n > 0 {
 			h.Write(buf[:n])
-			if acct.Counter != nil {
-				acct.Counter.AddRead(1)
-			}
-			if acct.Meter != nil {
-				acct.Meter.ChargeIOBlocks(1)
-			}
+			acct.ChargeRead(diskio.DiskAt(f, off), 1)
+			off += int64(n)
 		}
 		if err == io.EOF {
 			break
@@ -223,14 +220,10 @@ func Save(fs diskio.FS, m *Manifest, acct diskio.Accounting) error {
 	if err := fs.Rename(manifestTemp, ManifestName); err != nil {
 		return fmt.Errorf("checkpoint: publishing manifest: %w", err)
 	}
-	if acct.Counter != nil {
-		acct.Counter.AddWrite(1)
-		acct.Counter.AddSeek(1)
-	}
-	if acct.Meter != nil {
-		acct.Meter.ChargeIOBlocks(1)
-		acct.Meter.ChargeSeek(1)
-	}
+	// The manifest is metadata, not striped key data: attribute its one
+	// block write and the publishing seek to member disk 0.
+	acct.ChargeWrite(0, 1)
+	acct.ChargeSeek(0, 1)
 	return nil
 }
 

@@ -42,12 +42,25 @@ type Config struct {
 	// Disks returns the private filesystem of node id.  Default: a
 	// fresh MemFS per node.
 	Disks func(id int) diskio.FS
-	// DisksPerNode is the PDM D parameter per node: with D
-	// independent drives a block transfer overlaps D ways, so the
-	// virtual time per block divides by D while the I/O *count* (the
-	// PDM complexity measure) is unchanged.  Default 1, the paper's
-	// configuration ("we have one disk attached per processor").
+	// DisksPerNode is the PDM D parameter per node.  With D > 1 the
+	// node's filesystem is striped round-robin across D member disks
+	// (diskio.StripeOver) and each disk gets its own virtual-time
+	// queue: block transfers to distinct disks coalesce into one
+	// parallel I/O step that completes when the slowest involved disk
+	// does, while transfers hitting the same disk serialize.  The I/O
+	// *count* (the PDM complexity measure) is unchanged — only time
+	// parallelizes, and only as far as the access pattern actually
+	// spreads over the disks.  Default 1, the paper's configuration
+	// ("we have one disk attached per processor").
 	DisksPerNode int
+	// DiskAccess selects how a node's D disks are driven (pdm.Striped,
+	// the default, or pdm.Independent).  Striped mode additionally
+	// requires round-robin disk order within a parallel step — the
+	// "one logical disk with block size D*B" discipline — so an access
+	// pattern that skips around closes steps early and loses
+	// parallelism; independent mode lets any set of distinct disks
+	// share a step.  Irrelevant at D=1.
+	DiskAccess pdm.AccessMode
 	// Contention, when non-nil, is sampled on every disk and network
 	// charge and multiplies the virtual time by the returned factor
 	// (values below 1, NaN, or Inf are treated as 1).  The hetsortd
@@ -379,6 +392,14 @@ func New(cfg Config) (*Cluster, error) {
 	c.links = make([]linkState, p*p)
 	c.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
+		fs := cfg.Disks(i)
+		if cfg.DisksPerNode > 1 {
+			sfs, err := diskio.StripeOver(fs, cfg.DisksPerNode, int64(cfg.BlockKeys)*record.KeySize)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: striping node %d over %d disks: %w", i, cfg.DisksPerNode, err)
+			}
+			fs = sfs
+		}
 		n := &Node{
 			id:       i,
 			cluster:  c,
@@ -386,10 +407,12 @@ func New(cfg Config) (*Cluster, error) {
 			cost:     cfg.Cost,
 			block:    cfg.BlockKeys,
 			disks:    cfg.DisksPerNode,
-			fs:       cfg.Disks(i),
+			access:   cfg.DiskAccess,
+			fs:       fs,
 			contend:  cfg.Contention,
 			metrics:  metrics.NewRegistry(),
 		}
+		n.initDiskQueues()
 		n.initMetricHandles(p)
 		c.nodes[i] = n
 	}
@@ -429,6 +452,17 @@ func (c *Cluster) ResetClocks() {
 		n.overlapCredit = 0
 		n.counter.Reset()
 		n.metrics.Reset()
+		for d := range n.diskCounters {
+			n.diskCounters[d].Reset()
+			n.diskDone[d] = 0
+			n.diskBusy[d] = 0
+			n.stripeUsed[d] = false
+		}
+		n.stripeOpen = false
+		n.stripeIssue = 0
+		n.prevDisk = n.disks - 1
+		n.ioSteps = 0
+		n.stepBlocks = 0
 	}
 }
 
@@ -486,6 +520,15 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 	for i, n := range c.nodes {
 		n.metrics.Gauge("net.fanin.hwm").Set(float64(n.faninHWM.Load()))
 		n.metrics.Gauge("net.link.queue.hwm").Set(float64(c.LinkQueueHWM(i)))
+		if n.disks > 1 {
+			n.metrics.Gauge("disk.parallel.steps").Set(float64(n.ioSteps))
+			if n.ioSteps > 0 {
+				n.metrics.Gauge("disk.step.width.avg").Set(float64(n.stepBlocks) / float64(n.ioSteps))
+			}
+			for d, busy := range n.diskBusy {
+				n.metrics.Gauge(fmt.Sprintf("disk.%d.busy.sec", d)).Set(busy)
+			}
+		}
 	}
 	var nonNil []error
 	for i, err := range errs {
@@ -510,10 +553,35 @@ type Node struct {
 	cost     vtime.CostModel
 	block    int
 	disks    int
+	access   pdm.AccessMode
 	fs       diskio.FS
 	contend  func() float64
 	clock    float64
 	counter  pdm.Counter
+
+	// Per-disk virtual-time queues (D > 1 only; at D=1 the fast paths
+	// below bypass them so single-disk numerics are bit-identical to
+	// the pre-striping model).  diskDone[d] is the absolute virtual
+	// time at which member disk d finishes its last accepted request;
+	// the invariant diskDone[d] <= clock holds between charges because
+	// the node always waits for the completion it is charged.  A
+	// "parallel I/O step" groups consecutive block charges to distinct
+	// disks: the step opens at the current clock (stripeIssue), each
+	// involved disk serves its block from max(its cursor, the issue
+	// time), and the node's clock only advances by the wait for the
+	// slowest involved disk.  A step closes when a disk repeats within
+	// it, when a seek intervenes, or — in striped access mode — when
+	// the round-robin disk order breaks.
+	diskDone     []float64
+	diskBusy     []float64 // per-disk busy seconds (queue-depth metric)
+	stripeUsed   []bool
+	stripeOpen   bool
+	stripeIssue  float64
+	prevDisk     int
+	ioSteps      int64 // parallel I/O steps issued
+	stepBlocks   int64 // blocks issued through the step model
+	diskCounters []pdm.Counter
+	diskCtrPtrs  []*pdm.Counter
 
 	// liveClock mirrors clock as atomically published float bits so
 	// progress samplers in other goroutines can read a node's virtual
@@ -570,6 +638,24 @@ func (n *Node) FanInHWM() int64 { return n.faninHWM.Load() }
 // MaxInQueueHWM returns the worst queue high-water mark over the node's
 // incoming links so far.
 func (n *Node) MaxInQueueHWM() int64 { return n.cluster.LinkQueueHWM(n.id) }
+
+// initDiskQueues allocates the per-disk queue and counter state for a
+// multi-disk node (no-op at D=1, which keeps the single-disk fast
+// paths allocation-free).
+func (n *Node) initDiskQueues() {
+	if n.disks <= 1 {
+		return
+	}
+	n.diskDone = make([]float64, n.disks)
+	n.diskBusy = make([]float64, n.disks)
+	n.stripeUsed = make([]bool, n.disks)
+	n.prevDisk = n.disks - 1 // so the first round-robin block lands on disk 0
+	n.diskCounters = make([]pdm.Counter, n.disks)
+	n.diskCtrPtrs = make([]*pdm.Counter, n.disks)
+	for d := range n.diskCounters {
+		n.diskCtrPtrs[d] = &n.diskCounters[d]
+	}
+}
 
 // initMetricHandles pre-registers the hot-path metrics for a p-node
 // cluster, so Send/Recv only touch atomics.
@@ -668,7 +754,7 @@ func (n *Node) IOStats() pdm.IOStats { return n.counter.Snapshot() }
 // Acct returns the accounting handle (counter + meter) to pass to the
 // disk layer and the sorts.
 func (n *Node) Acct() diskio.Accounting {
-	return diskio.Accounting{Counter: &n.counter, Meter: n}
+	return diskio.Accounting{Counter: &n.counter, Meter: n, Disks: n.diskCtrPtrs}
 }
 
 // ChargeCompute implements vtime.Meter.  Inside an overlap window the
@@ -699,12 +785,13 @@ func (n *Node) contention() float64 {
 	return f
 }
 
-// blockSec is the virtual transfer time of one block on this node's
-// drive array (the D disks transfer one block in 1/D of the single-disk
-// time, the PDM's parallel I/O step), stretched by the tenancy
-// contention factor when the machine is shared.
+// blockSec is the virtual transfer time of one block on a single member
+// drive of this node, stretched by the tenancy contention factor when
+// the machine is shared.  D no longer discounts this uniformly: at
+// D > 1 the per-disk queues decide how much of each block's time
+// overlaps with the other disks' (chargeDiskBlock).
 func (n *Node) blockSec() float64 {
-	return float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown * n.contention() / float64(n.disks)
+	return float64(n.block) * n.cost.IOBlockSecPerKey * n.slowdown * n.contention()
 }
 
 // BeginOverlap implements vtime.OverlapMeter: it opens an overlap window
@@ -715,7 +802,11 @@ func (n *Node) BeginOverlap(depthBlocks int) {
 	if depthBlocks <= 0 {
 		depthBlocks = 2
 	}
-	cap := float64(depthBlocks) * n.blockSec()
+	// The window's credit is capped per disk: each in-flight slot hides
+	// at most one block served at the array's parallel rate, so depth
+	// slots cap at depth * blockSec/D regardless of which member disks
+	// the stream lands on.
+	cap := float64(depthBlocks) * n.blockSec() / float64(n.disks)
 	n.overlapCaps = append(n.overlapCaps, cap)
 	n.overlapCap += cap
 }
@@ -743,7 +834,10 @@ func (n *Node) EndOverlap() {
 // Disk.  The hidden share is recorded in the Overlapped attribution
 // column (and the node metrics), never silently dropped.
 func (n *Node) ChargeOverlappedIOBlocks(blocks int64) {
-	sec := float64(blocks) * n.blockSec()
+	// Asynchronously issued blocks stream at the array's parallel rate:
+	// the prefetch/write-behind queue keeps all D member disks fed, so
+	// a block's exposed time is the single-disk time over D.
+	sec := float64(blocks) * n.blockSec() / float64(n.disks)
 	hidden := sec
 	if hidden > n.overlapCredit {
 		hidden = n.overlapCredit
@@ -760,15 +854,164 @@ func (n *Node) ChargeOverlappedIOBlocks(blocks int64) {
 // Disks returns the node's PDM D parameter.
 func (n *Node) Disks() int { return n.disks }
 
-// ChargeIOBlocks implements vtime.Meter.  With D independent disks the
-// transfer time divides by D (the PDM's parallel I/O step).
-func (n *Node) ChargeIOBlocks(blocks int64) {
-	n.ChargeTime(vtime.Disk, float64(blocks)*n.blockSec())
+// DiskAccess returns the node's disk access discipline.
+func (n *Node) DiskAccess() pdm.AccessMode { return n.access }
+
+// DiskIO returns one I/O snapshot per member disk (nil at D=1, where
+// the node counter is the only drive).  The per-disk counts always sum
+// exactly to the node counter: the disk layer bumps both on every
+// transfer.
+func (n *Node) DiskIO() []pdm.IOStats {
+	if n.disks <= 1 {
+		return nil
+	}
+	out := make([]pdm.IOStats, n.disks)
+	for d := range n.diskCounters {
+		out[d] = n.diskCounters[d].Snapshot()
+	}
+	return out
 }
 
-// ChargeSeek implements vtime.Meter.
+// DiskBusySec returns each member disk's busy seconds through the
+// queue model (nil at D=1).
+func (n *Node) DiskBusySec() []float64 {
+	if n.disks <= 1 {
+		return nil
+	}
+	out := make([]float64, n.disks)
+	copy(out, n.diskBusy)
+	return out
+}
+
+// IOSteps returns the number of parallel I/O steps issued and the
+// blocks they carried; blocks/steps is the achieved step width in
+// [1, D] — the queue-depth measure of how well the access pattern kept
+// the member disks busy.  Zero at D=1.
+func (n *Node) IOSteps() (steps, blocks int64) { return n.ioSteps, n.stepBlocks }
+
+// SetIOPhase selects the PDM phase subsequent block transfers are
+// attributed to, on the node counter and every per-disk counter (so
+// per-phase per-disk counts keep summing to the per-phase node counts).
+func (n *Node) SetIOPhase(p int) {
+	n.counter.SetPhase(p)
+	for d := range n.diskCounters {
+		n.diskCounters[d].SetPhase(p)
+	}
+}
+
+// closeStep ends the open parallel I/O step: the next block charge
+// opens a fresh step at the then-current clock.
+func (n *Node) closeStep() {
+	if !n.stripeOpen {
+		return
+	}
+	for i := range n.stripeUsed {
+		n.stripeUsed[i] = false
+	}
+	n.stripeOpen = false
+}
+
+// chargeDiskBlock runs one block transfer on member disk d through the
+// per-disk queues (D > 1 only).  Consecutive charges to distinct disks
+// share a parallel I/O step: the step opens at the clock of its first
+// block, every involved disk serves from max(its cursor, the step's
+// issue time), and the node waits only for each block's completion —
+// so within a step the later disks' transfers hide behind the first
+// wait, and a full-width step of D blocks costs one blockSec.  Reusing
+// a disk inside a step (and, under striped access, breaking round-robin
+// order) closes it; the next charge then starts a new step at the
+// current clock, which is exactly the old synchronous behaviour when
+// every block lands on the same disk.
+func (n *Node) chargeDiskBlock(d int) {
+	if d < 0 || d >= n.disks {
+		d = 0
+	}
+	if n.stripeOpen && (n.stripeUsed[d] ||
+		(n.access == pdm.Striped && d != (n.prevDisk+1)%n.disks)) {
+		n.closeStep()
+	}
+	if !n.stripeOpen {
+		n.stripeOpen = true
+		n.stripeIssue = n.clock
+		n.ioSteps++
+	}
+	start := n.diskDone[d]
+	if start < n.stripeIssue {
+		start = n.stripeIssue
+	}
+	done := start + n.blockSec()
+	n.diskDone[d] = done
+	n.diskBusy[d] += n.blockSec()
+	n.stripeUsed[d] = true
+	n.prevDisk = d
+	n.stepBlocks++
+	if wait := done - n.clock; wait > 0 {
+		n.ChargeTime(vtime.Disk, wait)
+	} else {
+		n.crashIfDue()
+	}
+}
+
+// ChargeDiskIOBlocks implements vtime.DiskMeter: the disk layer names
+// the member disk that physically serves each block of a striped file.
+func (n *Node) ChargeDiskIOBlocks(disk int, blocks int64) {
+	if n.disks == 1 {
+		n.ChargeTime(vtime.Disk, float64(blocks)*n.blockSec())
+		return
+	}
+	for i := int64(0); i < blocks; i++ {
+		n.chargeDiskBlock(disk)
+	}
+}
+
+// ChargeDiskSeek implements vtime.DiskMeter.  A seek closes the open
+// parallel step — a repositioning is precisely a break in the streaming
+// pattern the step models — and occupies its member disk for the full
+// seek time.
+func (n *Node) ChargeDiskSeek(disk int, seeks int64) {
+	sec := float64(seeks) * n.cost.SeekSec * n.slowdown * n.contention()
+	if n.disks == 1 {
+		n.ChargeTime(vtime.Disk, sec)
+		return
+	}
+	d := disk
+	if d < 0 || d >= n.disks {
+		d = 0
+	}
+	n.closeStep()
+	start := n.diskDone[d]
+	if start < n.clock {
+		start = n.clock
+	}
+	done := start + sec
+	n.diskDone[d] = done
+	n.diskBusy[d] += sec
+	if wait := done - n.clock; wait > 0 {
+		n.ChargeTime(vtime.Disk, wait)
+	} else {
+		n.crashIfDue()
+	}
+}
+
+// ChargeIOBlocks implements vtime.Meter for transfers with no placement
+// information (plain un-striped files, checkpoint metadata, direct
+// charges).  At D > 1 they are modeled as perfectly striped: blocks
+// round-robin over the member disks continuing from the last disk
+// touched, so a bulk charge of n blocks coalesces into ceil(n/D)
+// parallel steps.
+func (n *Node) ChargeIOBlocks(blocks int64) {
+	if n.disks == 1 {
+		n.ChargeTime(vtime.Disk, float64(blocks)*n.blockSec())
+		return
+	}
+	for i := int64(0); i < blocks; i++ {
+		n.chargeDiskBlock((n.prevDisk + 1) % n.disks)
+	}
+}
+
+// ChargeSeek implements vtime.Meter (no placement: disk 0).
 func (n *Node) ChargeSeek(seeks int64) {
-	n.ChargeTime(vtime.Disk, float64(seeks)*n.cost.SeekSec*n.slowdown*n.contention())
+	n.ChargeDiskSeek(0, seeks)
 }
 
 // ObserveMerge implements polyphase's merge-kernel observer: the loser

@@ -74,39 +74,92 @@ func putKeyBuf(b []record.Key) {
 	}
 }
 
-// Accounting bundles the two sinks every block transfer reports to: the
-// PDM I/O counter (complexity accounting) and the virtual-time meter
-// (simulated-clock accounting).  Either field may be nil.
+// Accounting bundles the sinks every block transfer reports to: the
+// PDM I/O counter (complexity accounting), the virtual-time meter
+// (simulated-clock accounting), and optionally one counter per member
+// disk of a striped node.  Any field may be nil/empty.  Every transfer
+// bumps both the node Counter and the serving disk's counter, so the
+// per-disk counters always sum exactly to the node counter.
 type Accounting struct {
 	Counter *pdm.Counter
 	Meter   vtime.Meter
+	// Disks holds one counter per member disk; transfers on files that
+	// implement Placed are attributed to the disk serving the block's
+	// offset, everything else to disk 0.
+	Disks []*pdm.Counter
 }
 
-func (a Accounting) read(blocks int64) {
+// disk returns the per-disk counter for d, clamping unknown indices to
+// disk 0 so plain files on a multi-disk node still account somewhere.
+func (a Accounting) disk(d int) *pdm.Counter {
+	if len(a.Disks) == 0 {
+		return nil
+	}
+	if d < 0 || d >= len(a.Disks) {
+		d = 0
+	}
+	return a.Disks[d]
+}
+
+func (a Accounting) read(d int, blocks int64) {
 	if a.Counter != nil {
 		a.Counter.AddRead(blocks)
 	}
-	if a.Meter != nil {
+	if c := a.disk(d); c != nil {
+		c.AddRead(blocks)
+	}
+	if dm, ok := a.Meter.(vtime.DiskMeter); ok {
+		dm.ChargeDiskIOBlocks(d, blocks)
+	} else if a.Meter != nil {
 		a.Meter.ChargeIOBlocks(blocks)
 	}
 }
 
-func (a Accounting) write(blocks int64) {
+func (a Accounting) write(d int, blocks int64) {
 	if a.Counter != nil {
 		a.Counter.AddWrite(blocks)
 	}
-	if a.Meter != nil {
+	if c := a.disk(d); c != nil {
+		c.AddWrite(blocks)
+	}
+	if dm, ok := a.Meter.(vtime.DiskMeter); ok {
+		dm.ChargeDiskIOBlocks(d, blocks)
+	} else if a.Meter != nil {
 		a.Meter.ChargeIOBlocks(blocks)
 	}
 }
 
-func (a Accounting) seek(n int64) {
+func (a Accounting) seek(d int, n int64) {
 	if a.Counter != nil {
 		a.Counter.AddSeek(n)
 	}
-	if a.Meter != nil {
+	if c := a.disk(d); c != nil {
+		c.AddSeek(n)
+	}
+	if dm, ok := a.Meter.(vtime.DiskMeter); ok {
+		dm.ChargeDiskSeek(d, n)
+	} else if a.Meter != nil {
 		a.Meter.ChargeSeek(n)
 	}
+}
+
+// ChargeRead, ChargeWrite and ChargeSeek record block transfers and
+// seeks performed outside the package's readers and writers (manifest
+// saves, hashing passes), attributed to member disk d (use 0 when the
+// placement is unknown).  They keep the node counter, the per-disk
+// counters and the meter in lockstep, like every internal transfer.
+func (a Accounting) ChargeRead(d int, blocks int64)  { a.read(d, blocks) }
+func (a Accounting) ChargeWrite(d int, blocks int64) { a.write(d, blocks) }
+func (a Accounting) ChargeSeek(d int, n int64)       { a.seek(d, n) }
+
+// DiskAt reports which member disk serves the byte at off in f: files
+// that implement Placed answer for themselves, everything else lives
+// entirely on disk 0.
+func DiskAt(f File, off int64) int {
+	if p, ok := f.(Placed); ok {
+		return p.DiskAt(off)
+	}
+	return 0
 }
 
 // Writer streams keys to a file in blocks of BlockSize keys, charging
@@ -115,7 +168,9 @@ func (a Accounting) seek(n int64) {
 type Writer struct {
 	f      File
 	acct   Accounting
-	block  int // keys per block
+	placed Placed // non-nil when f knows its disk placement
+	off    int64  // byte offset of the next block written
+	block  int    // keys per block
 	buf    []byte
 	n      int   // keys buffered
 	total  int64 // keys written overall
@@ -130,12 +185,14 @@ func NewWriter(f File, blockKeys int, acct Accounting) *Writer {
 	if blockKeys <= 0 {
 		panic("diskio: block size must be positive")
 	}
-	return &Writer{
+	w := &Writer{
 		f:     f,
 		acct:  acct,
 		block: blockKeys,
 		buf:   getByteBuf(blockKeys * record.KeySize)[:0],
 	}
+	w.placed, w.off = placement(f)
+	return w
 }
 
 // WriteKeys appends keys to the stream.
@@ -178,7 +235,12 @@ func (w *Writer) flushBlock() error {
 		w.err = fmt.Errorf("diskio: writing block: %w", err)
 		return w.err
 	}
-	w.acct.write(1)
+	d := 0
+	if w.placed != nil {
+		d = w.placed.DiskAt(w.off)
+	}
+	w.off += int64(len(w.buf))
+	w.acct.write(d, 1)
 	w.buf = w.buf[:0]
 	w.n = 0
 	return nil
@@ -207,13 +269,31 @@ func (w *Writer) Close() error {
 // Reader streams keys from a file in blocks of BlockSize keys, charging
 // one block read per block fetched.
 type Reader struct {
-	f     File
-	acct  Accounting
-	block int
-	buf   []byte
-	keys  []record.Key
-	pos   int
-	err   error
+	f      File
+	acct   Accounting
+	placed Placed // non-nil when f knows its disk placement
+	off    int64  // byte offset of the next block read
+	block  int
+	buf    []byte
+	keys   []record.Key
+	pos    int
+	err    error
+}
+
+// placement inspects f for striped disk placement: the Placed view and
+// the handle's current byte position (so readers and writers opened
+// mid-file attribute blocks to the right member disk).  Plain files get
+// a nil Placed; their blocks all land on disk 0.
+func placement(f File) (Placed, int64) {
+	p, ok := f.(Placed)
+	if !ok {
+		return nil, 0
+	}
+	off, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, 0
+	}
+	return p, off
 }
 
 // NewReader returns a Reader on f with the given block size in keys.
@@ -221,13 +301,15 @@ func NewReader(f File, blockKeys int, acct Accounting) *Reader {
 	if blockKeys <= 0 {
 		panic("diskio: block size must be positive")
 	}
-	return &Reader{
+	r := &Reader{
 		f:     f,
 		acct:  acct,
 		block: blockKeys,
 		buf:   getByteBuf(blockKeys * record.KeySize),
 		keys:  getKeyBuf(blockKeys),
 	}
+	r.placed, r.off = placement(f)
+	return r
 }
 
 func (r *Reader) fill() error {
@@ -240,7 +322,12 @@ func (r *Reader) fill() error {
 			r.err = fmt.Errorf("diskio: truncated key at end of %s", r.f.Name())
 			return r.err
 		}
-		r.acct.read(1)
+		d := 0
+		if r.placed != nil {
+			d = r.placed.DiskAt(r.off)
+		}
+		r.off += int64(n)
+		r.acct.read(d, 1)
 		r.keys = record.DecodeKeys(r.keys[:0], r.buf[:n])
 		r.pos = 0
 		return nil
@@ -323,12 +410,13 @@ func ReadKeyAt(f File, idx int64, acct Accounting) (record.Key, error) {
 	if _, err := f.Seek(idx*record.KeySize, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("diskio: seek to key %d: %w", idx, err)
 	}
-	acct.seek(1)
+	d := DiskAt(f, idx*record.KeySize)
+	acct.seek(d, 1)
 	var buf [record.KeySize]byte
 	if _, err := io.ReadFull(f, buf[:]); err != nil {
 		return 0, fmt.Errorf("diskio: read key %d: %w", idx, err)
 	}
-	acct.read(1)
+	acct.read(d, 1)
 	return record.GetKey(buf[:]), nil
 }
 

@@ -40,17 +40,29 @@ type Overlap struct {
 	// Enabled turns on prefetch for readers and write-behind for
 	// writers created through NewBlockReader/NewBlockWriter.
 	Enabled bool
-	// Depth is the number of blocks kept in flight per stream; <= 1
-	// means 2 (double buffering).  Callers typically bound it by the
-	// node's DisksPerNode.
+	// Depth is the number of blocks kept in flight per stream.  Zero
+	// means "use the device's natural depth": the meter's disk count
+	// when it exposes one (a node with D disks can keep D transfers in
+	// flight), else 2.  Any value below 2 is raised to 2 (double
+	// buffering is the minimum that overlaps anything).
 	Depth int
 }
 
-func (o Overlap) depth() int {
-	if o.Depth <= 1 {
-		return 2
+// DepthFor resolves the effective in-flight depth for a stream charged
+// to meter m: an explicit Depth wins; Depth == 0 asks the meter how many
+// member disks it drives (cluster.Node exposes Disks()), so prefetch
+// depth finally defaults to the node's DisksPerNode.
+func (o Overlap) DepthFor(m vtime.Meter) int {
+	d := o.Depth
+	if d == 0 {
+		if dp, ok := m.(interface{ Disks() int }); ok {
+			d = dp.Disks()
+		}
 	}
-	return o.Depth
+	if d < 2 {
+		d = 2
+	}
+	return d
 }
 
 // BlockReader is the consumer-side surface shared by the synchronous
@@ -99,7 +111,7 @@ func NewBlockReader(f File, blockKeys int, acct Accounting, o Overlap) BlockRead
 	if !o.Enabled {
 		return NewReader(f, blockKeys, acct)
 	}
-	return NewPrefetchReader(f, blockKeys, acct, o.depth())
+	return NewPrefetchReader(f, blockKeys, acct, o.DepthFor(acct.Meter))
 }
 
 // NewBlockWriter returns a write-behind AsyncWriter on f when o.Enabled,
@@ -108,16 +120,19 @@ func NewBlockWriter(f File, blockKeys int, acct Accounting, o Overlap) BlockWrit
 	if !o.Enabled {
 		return NewWriter(f, blockKeys, acct)
 	}
-	return NewAsyncWriter(f, blockKeys, acct, o.depth())
+	return NewAsyncWriter(f, blockKeys, acct, o.DepthFor(acct.Meter))
 }
 
 // readOverlapped charges one consumer-side handover of blocks read
 // through the prefetcher: the PDM count is identical to a synchronous
 // read; the time charge goes through the overlap window when the meter
 // supports one.
-func (a Accounting) readOverlapped(blocks int64) {
+func (a Accounting) readOverlapped(d int, blocks int64) {
 	if a.Counter != nil {
 		a.Counter.AddRead(blocks)
+	}
+	if c := a.disk(d); c != nil {
+		c.AddRead(blocks)
 	}
 	if om, ok := a.Meter.(vtime.OverlapMeter); ok {
 		om.ChargeOverlappedIOBlocks(blocks)
@@ -127,9 +142,12 @@ func (a Accounting) readOverlapped(blocks int64) {
 }
 
 // writeOverlapped is readOverlapped's write-behind counterpart.
-func (a Accounting) writeOverlapped(blocks int64) {
+func (a Accounting) writeOverlapped(d int, blocks int64) {
 	if a.Counter != nil {
 		a.Counter.AddWrite(blocks)
+	}
+	if c := a.disk(d); c != nil {
+		c.AddWrite(blocks)
 	}
 	if om, ok := a.Meter.(vtime.OverlapMeter); ok {
 		om.ChargeOverlappedIOBlocks(blocks)
@@ -162,6 +180,8 @@ type pfBlock struct {
 // file may be closed right after.
 type PrefetchReader struct {
 	acct     Accounting
+	placed   Placed // non-nil when the file knows its disk placement
+	off      int64  // consumer-side byte offset of the next block taken
 	block    int
 	ch       chan pfBlock  // depth-1 buffered; +1 in the producer's hands = depth in flight
 	quit     chan struct{} // closed by Release to stop the producer
@@ -196,6 +216,11 @@ func NewPrefetchReader(f File, blockKeys int, acct Accounting, depth int) *Prefe
 		endWin: acct.overlapWindow(depth),
 		keys:   getKeyBuf(blockKeys),
 	}
+	// Capture placement before the producer takes the handle: blocks
+	// arrive in file order, so the consumer can attribute each one to
+	// its member disk from the running offset alone (DiskAt is a pure
+	// function of the offset, safe alongside the producer's reads).
+	r.placed, r.off = placement(f)
 	go r.produce(f)
 	return r
 }
@@ -261,7 +286,12 @@ func (r *PrefetchReader) fill() error {
 		return r.err
 	}
 	r.fetched++
-	r.acct.readOverlapped(1)
+	d := 0
+	if r.placed != nil {
+		d = r.placed.DiskAt(r.off)
+	}
+	r.off += int64(len(blk.buf))
+	r.acct.readOverlapped(d, 1)
 	r.keys = record.DecodeKeys(r.keys[:0], blk.buf)
 	putByteBuf(blk.buf)
 	r.pos = 0
@@ -372,6 +402,8 @@ func (r *PrefetchReader) recycle(blk pfBlock) {
 // drained and discarded so the consumer never deadlocks).
 type AsyncWriter struct {
 	acct   Accounting
+	placed Placed // non-nil when the file knows its disk placement
+	off    int64  // consumer-side byte offset of the next block handed off
 	block  int
 	ch     chan []byte   // depth-1 buffered; +1 in the drainer's hands = depth in flight
 	done   chan struct{} // closed by the drainer on exit
@@ -404,6 +436,9 @@ func NewAsyncWriter(f File, blockKeys int, acct Accounting, depth int) *AsyncWri
 		endWin: acct.overlapWindow(depth),
 		buf:    getByteBuf(blockKeys * record.KeySize)[:0],
 	}
+	// Capture placement before the drainer takes the handle; the
+	// consumer attributes each handed-off block from its own offset.
+	w.placed, w.off = placement(f)
 	go w.drain(f)
 	return w
 }
@@ -462,9 +497,14 @@ func (w *AsyncWriter) flushBlock() {
 	if q := int64(len(w.ch)) + 1; q > w.hwm {
 		w.hwm = q
 	}
+	d := 0
+	if w.placed != nil {
+		d = w.placed.DiskAt(w.off)
+	}
+	w.off += int64(len(w.buf))
 	w.ch <- w.buf
 	w.wrote++
-	w.acct.writeOverlapped(1)
+	w.acct.writeOverlapped(d, 1)
 	w.buf = getByteBuf(w.block * record.KeySize)[:0]
 	w.n = 0
 }

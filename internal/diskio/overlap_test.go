@@ -275,14 +275,41 @@ func TestNewBlockReaderWriterFallThrough(t *testing.T) {
 	rf.Close()
 }
 
-// TestOverlapDepthDefault checks the <= 1 → double-buffering rule.
+// diskCountMeter is a meter that reports a disk count, standing in for
+// cluster.Node in the depth-default tests.
+type diskCountMeter struct {
+	vtime.Nop
+	disks int
+}
+
+func (m diskCountMeter) Disks() int { return m.disks }
+
+// TestOverlapDepthDefault checks depth resolution: explicit depths win,
+// <= 1 means double buffering, and Depth == 0 asks the meter for its
+// disk count — the regression test for prefetch depth defaulting to the
+// node's DisksPerNode.
 func TestOverlapDepthDefault(t *testing.T) {
 	for _, d := range []int{-1, 0, 1} {
-		if got := (Overlap{Depth: d}).depth(); got != 2 {
-			t.Fatalf("Overlap{Depth: %d}.depth() = %d, want 2", d, got)
+		if got := (Overlap{Depth: d}).DepthFor(nil); got != 2 {
+			t.Fatalf("Overlap{Depth: %d}.DepthFor(nil) = %d, want 2", d, got)
 		}
 	}
-	if got := (Overlap{Depth: 5}).depth(); got != 5 {
-		t.Fatalf("Overlap{Depth: 5}.depth() = %d", got)
+	if got := (Overlap{Depth: 5}).DepthFor(nil); got != 5 {
+		t.Fatalf("Overlap{Depth: 5}.DepthFor(nil) = %d", got)
+	}
+	// Depth 0 + a meter with D disks → depth D (floored at 2).
+	if got := (Overlap{}).DepthFor(diskCountMeter{disks: 4}); got != 4 {
+		t.Fatalf("DepthFor(4-disk meter) = %d, want 4", got)
+	}
+	if got := (Overlap{}).DepthFor(diskCountMeter{disks: 1}); got != 2 {
+		t.Fatalf("DepthFor(1-disk meter) = %d, want 2", got)
+	}
+	// An explicit depth is never overridden by the meter.
+	if got := (Overlap{Depth: 3}).DepthFor(diskCountMeter{disks: 8}); got != 3 {
+		t.Fatalf("DepthFor(explicit 3, 8-disk meter) = %d, want 3", got)
+	}
+	// A plain meter without a disk count still double-buffers.
+	if got := (Overlap{}).DepthFor(vtime.Nop{}); got != 2 {
+		t.Fatalf("DepthFor(Nop) = %d, want 2", got)
 	}
 }

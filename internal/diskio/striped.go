@@ -1,0 +1,313 @@
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file makes D > 1 real at the filesystem layer: a StripedFS
+// presents one logical namespace whose files are striped round-robin, in
+// fixed units, across D member filesystems (one per simulated disk).
+// The bytes a logical file yields are identical to a plain FS — only
+// placement changes — so every sort produces byte-identical output at
+// any D.  The accounting layer learns which member disk served a block
+// through the Placed interface, and the cluster's per-disk virtual-time
+// queues turn that placement into parallel I/O steps (a step completes
+// when the slowest involved disk does).
+
+// Placed is implemented by files that know which member disk serves a
+// given byte offset.  The keyio layer consults it to attribute each
+// block transfer to the disk that physically performs it; plain files
+// are treated as living on disk 0.
+type Placed interface {
+	// DiskAt returns the member disk index serving the byte at off.
+	DiskAt(off int64) int
+}
+
+// StripedFS is an FS that stripes every file across D member
+// filesystems in round-robin units of unit bytes: logical unit u of a
+// file lives on member u%D, at member offset (u/D)*unit.  Metadata
+// operations (Rename, Remove, Names) apply to all members; no data
+// moves, so they stay free of I/O charges like their plain-FS
+// counterparts.  Callers should pick unit = BlockKeys*record.KeySize so
+// one PDM block transfer maps to exactly one member-disk request.
+type StripedFS struct {
+	members []FS
+	unit    int64
+}
+
+// NewStripedFS returns a StripedFS over the given member filesystems.
+func NewStripedFS(members []FS, unitBytes int64) (*StripedFS, error) {
+	if len(members) == 0 {
+		return nil, errors.New("diskio: striped FS needs at least one member")
+	}
+	if unitBytes <= 0 {
+		return nil, fmt.Errorf("diskio: invalid stripe unit %d", unitBytes)
+	}
+	return &StripedFS{members: members, unit: unitBytes}, nil
+}
+
+// StripeOver returns an FS striping files across disks prefix-scoped
+// views ("d0/", "d1/", ...) of one base filesystem.  With disks <= 1 the
+// base is returned unchanged — a single disk needs no striping.  This is
+// how the cluster turns a node's scratch FS into its D member disks: on
+// a DirFS each member becomes a subdirectory, on a MemFS a name prefix.
+func StripeOver(base FS, disks int, unitBytes int64) (FS, error) {
+	if disks <= 1 {
+		return base, nil
+	}
+	members := make([]FS, disks)
+	for d := range members {
+		members[d] = &prefixFS{base: base, prefix: fmt.Sprintf("d%d/", d)}
+	}
+	return NewStripedFS(members, unitBytes)
+}
+
+// Disks returns the number of member filesystems.
+func (s *StripedFS) Disks() int { return len(s.members) }
+
+// Create implements FS: the file is created (or truncated) on every
+// member, so a logical file always has exactly one chunk per disk, even
+// when some chunks stay empty.
+func (s *StripedFS) Create(name string) (File, error) {
+	f := &stripedFile{fs: s, name: name, writable: true,
+		members: make([]File, len(s.members)), mpos: make([]int64, len(s.members))}
+	for d, m := range s.members {
+		mf, err := m.Create(name)
+		if err != nil {
+			f.closeAll()
+			return nil, fmt.Errorf("diskio: striped create %s on disk %d: %w", name, d, err)
+		}
+		f.members[d] = mf
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (s *StripedFS) Open(name string) (File, error) {
+	f := &stripedFile{fs: s, name: name,
+		members: make([]File, len(s.members)), mpos: make([]int64, len(s.members))}
+	for d, m := range s.members {
+		mf, err := m.Open(name)
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		f.members[d] = mf
+		sz, err := mf.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		f.mpos[d] = sz
+		f.size += sz
+	}
+	return f, nil
+}
+
+// Remove implements FS: the chunk is removed from every member.
+func (s *StripedFS) Remove(name string) error {
+	var first error
+	for _, m := range s.members {
+		if err := m.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Rename implements FS: every member chunk moves, no data blocks do.
+func (s *StripedFS) Rename(oldName, newName string) error {
+	for d, m := range s.members {
+		if err := m.Rename(oldName, newName); err != nil {
+			return fmt.Errorf("diskio: striped rename on disk %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// Names implements FS.  Every logical file has a chunk on every member,
+// so member 0 is authoritative.
+func (s *StripedFS) Names() ([]string, error) {
+	return s.members[0].Names()
+}
+
+// stripedFile is one logical file handle over the per-member chunks.
+// Reads may follow any Seek; writes must be sequential appends (the
+// access pattern of every sorter writer), which keeps each member chunk
+// a plain sequential file.
+type stripedFile struct {
+	fs       *StripedFS
+	name     string
+	members  []File
+	mpos     []int64 // current position of each member handle
+	off      int64   // logical position
+	size     int64   // logical size (bytes written so far when writable)
+	writable bool
+	closed   bool
+}
+
+func (f *stripedFile) Name() string { return f.name }
+
+// DiskAt implements Placed.
+func (f *stripedFile) DiskAt(off int64) int {
+	if off < 0 {
+		off = 0
+	}
+	return int((off / f.fs.unit) % int64(len(f.members)))
+}
+
+// span locates the logical offset: the member disk, the offset inside
+// that member's chunk, and how many bytes remain in the current unit.
+func (f *stripedFile) span(off int64) (disk int, memberOff, unitLeft int64) {
+	u := f.fs.unit
+	unit := off / u
+	within := off % u
+	disk = int(unit % int64(len(f.members)))
+	memberOff = (unit/int64(len(f.members)))*u + within
+	return disk, memberOff, u - within
+}
+
+func (f *stripedFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("diskio: read on closed striped file")
+	}
+	if f.off >= f.size {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && f.off < f.size {
+		d, mo, left := f.span(f.off)
+		want := int64(len(p) - n)
+		if want > left {
+			want = left
+		}
+		if rest := f.size - f.off; want > rest {
+			want = rest
+		}
+		if f.mpos[d] != mo {
+			if _, err := f.members[d].Seek(mo, io.SeekStart); err != nil {
+				return n, err
+			}
+			f.mpos[d] = mo
+		}
+		r, err := io.ReadFull(f.members[d], p[n:n+int(want)])
+		f.mpos[d] += int64(r)
+		f.off += int64(r)
+		n += r
+		if err != nil {
+			return n, fmt.Errorf("diskio: striped read %s disk %d: %w", f.name, d, err)
+		}
+	}
+	return n, nil
+}
+
+func (f *stripedFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("diskio: write on closed striped file")
+	}
+	if !f.writable {
+		return 0, errors.New("diskio: striped file opened read-only")
+	}
+	if f.off != f.size {
+		return 0, fmt.Errorf("diskio: non-sequential striped write to %s (off %d, size %d)", f.name, f.off, f.size)
+	}
+	n := 0
+	for n < len(p) {
+		d, mo, left := f.span(f.off)
+		want := int64(len(p) - n)
+		if want > left {
+			want = left
+		}
+		if f.mpos[d] != mo {
+			if _, err := f.members[d].Seek(mo, io.SeekStart); err != nil {
+				return n, err
+			}
+			f.mpos[d] = mo
+		}
+		w, err := f.members[d].Write(p[n : n+int(want)])
+		f.mpos[d] += int64(w)
+		f.off += int64(w)
+		f.size = f.off
+		n += w
+		if err != nil {
+			return n, fmt.Errorf("diskio: striped write %s disk %d: %w", f.name, d, err)
+		}
+	}
+	return n, nil
+}
+
+func (f *stripedFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, errors.New("diskio: seek on closed striped file")
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, fmt.Errorf("diskio: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, errors.New("diskio: negative seek position")
+	}
+	f.off = np
+	return np, nil
+}
+
+func (f *stripedFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.closeAll()
+}
+
+func (f *stripedFile) closeAll() error {
+	var first error
+	for _, m := range f.members {
+		if m == nil {
+			continue
+		}
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// prefixFS scopes an FS to a name prefix, giving each striped member its
+// own namespace ("d0/", ...) inside one backing store: a subdirectory on
+// a DirFS, a key prefix on a MemFS.
+type prefixFS struct {
+	base   FS
+	prefix string
+}
+
+func (p *prefixFS) Create(name string) (File, error) { return p.base.Create(p.prefix + name) }
+func (p *prefixFS) Open(name string) (File, error)   { return p.base.Open(p.prefix + name) }
+func (p *prefixFS) Remove(name string) error         { return p.base.Remove(p.prefix + name) }
+func (p *prefixFS) Rename(oldName, newName string) error {
+	return p.base.Rename(p.prefix+oldName, p.prefix+newName)
+}
+
+func (p *prefixFS) Names() ([]string, error) {
+	all, err := p.base.Names()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range all {
+		if strings.HasPrefix(n, p.prefix) {
+			names = append(names, strings.TrimPrefix(n, p.prefix))
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,399 @@
+package diskio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"hetsort/internal/pdm"
+	"hetsort/internal/record"
+	"hetsort/internal/vtime"
+)
+
+// stripedPair returns a plain MemFS and a 4-disk striped view over a
+// second MemFS with the given stripe unit in keys.
+func stripedPair(t *testing.T, disks, unitKeys int) (plain, striped FS) {
+	t.Helper()
+	plain = NewMemFS()
+	s, err := StripeOver(NewMemFS(), disks, int64(unitKeys*record.KeySize))
+	if err != nil {
+		t.Fatalf("StripeOver: %v", err)
+	}
+	return plain, s
+}
+
+func seq(n int) []record.Key {
+	keys := make([]record.Key, n)
+	for i := range keys {
+		keys[i] = record.Key(i*2347 + 11)
+	}
+	return keys
+}
+
+// TestStripedRoundTrip checks the core contract: the bytes a striped
+// file yields are identical to a plain file's, for sizes spanning
+// empty, sub-unit, exact multiples, and ragged tails.
+func TestStripedRoundTrip(t *testing.T) {
+	const unitKeys = 8
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 33, 256, 1000} {
+		plain, striped := stripedPair(t, 4, unitKeys)
+		keys := seq(n)
+		for _, fs := range []FS{plain, striped} {
+			if err := WriteFile(fs, "f", keys, unitKeys, Accounting{}); err != nil {
+				t.Fatalf("n=%d: WriteFile: %v", n, err)
+			}
+		}
+		a, err := ReadFileAll(plain, "f", unitKeys, Accounting{})
+		if err != nil {
+			t.Fatalf("n=%d: plain read: %v", n, err)
+		}
+		b, err := ReadFileAll(striped, "f", unitKeys, Accounting{})
+		if err != nil {
+			t.Fatalf("n=%d: striped read: %v", n, err)
+		}
+		if len(a) != n || len(b) != n {
+			t.Fatalf("n=%d: lengths %d / %d", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: key %d differs: %v vs %v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestStripedRawBytes checks striping at the byte level with reads that
+// straddle unit boundaries and follow seeks.
+func TestStripedRawBytes(t *testing.T) {
+	_, striped := stripedPair(t, 3, 1) // unit = 4 bytes
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	f, err := striped.Create("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := striped.Open("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if sz, _ := g.Seek(0, io.SeekEnd); sz != 100 {
+		t.Fatalf("size = %d, want 100", sz)
+	}
+	// Straddling read after a mid-file seek.
+	if _, err := g.Seek(3, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(g, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[3:13]) {
+		t.Fatalf("read %v, want %v", buf, data[3:13])
+	}
+	// Whole-file read from the start.
+	if _, err := g.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]byte, 100)
+	if _, err := io.ReadFull(g, all); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(all, data) {
+		t.Fatal("whole-file read differs")
+	}
+	// Reading past EOF reports EOF.
+	if _, err := g.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read at EOF = %v, want io.EOF", err)
+	}
+}
+
+// TestStripedPlacement checks DiskAt's round-robin layout and that the
+// member chunks land where the layout says.
+func TestStripedPlacement(t *testing.T) {
+	base := NewMemFS()
+	const unit = 8
+	s, err := StripeOver(base, 4, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10*unit)
+	for i := range data {
+		data[i] = byte(i / unit) // unit u is filled with byte u
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := f.(Placed)
+	if !ok {
+		t.Fatal("striped file does not implement Placed")
+	}
+	for u := 0; u < 10; u++ {
+		if got, want := p.DiskAt(int64(u*unit)), u%4; got != want {
+			t.Fatalf("DiskAt(unit %d) = %d, want %d", u, got, want)
+		}
+	}
+	f.Close()
+	// Member chunk d0/f holds units 0, 4, 8; d1/f holds 1, 5, 9; etc.
+	for d := 0; d < 4; d++ {
+		mf, err := base.Open(fmt.Sprintf("d%d/f", d))
+		if err != nil {
+			t.Fatalf("member %d: %v", d, err)
+		}
+		chunk, err := io.ReadAll(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []byte
+		for u := d; u < 10; u += 4 {
+			for i := 0; i < unit; i++ {
+				want = append(want, byte(u))
+			}
+		}
+		if !bytes.Equal(chunk, want) {
+			t.Fatalf("member %d chunk = %v, want %v", d, chunk, want)
+		}
+	}
+}
+
+// TestStripedMetadata checks Names/Rename/Remove act on all members and
+// present one logical namespace.
+func TestStripedMetadata(t *testing.T) {
+	base := NewMemFS()
+	s, err := StripeOver(base, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := WriteFile(s, name, seq(5), 4, Accounting{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v, want [a b]", names)
+	}
+	if err := s.Rename("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("a"); err == nil {
+		t.Fatal("old name still opens after Rename")
+	}
+	got, err := ReadFileAll(s, "c", 4, Accounting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("renamed file has %d keys, want 5", len(got))
+	}
+	if err := s.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("b"); err == nil {
+		t.Fatal("removed file still opens")
+	}
+	// CountKeys sees the logical size across members.
+	n, err := CountKeys(s, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("CountKeys = %d, want 5", n)
+	}
+}
+
+// TestStripedSequentialWriteOnly checks the append-only write contract.
+func TestStripedSequentialWriteOnly(t *testing.T) {
+	_, s := stripedPair(t, 2, 4)
+	f, err := s.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1}); err == nil {
+		t.Fatal("overwrite after seek succeeded, want error")
+	}
+}
+
+// TestStripeOverSingleDisk checks D <= 1 returns the base FS unchanged.
+func TestStripeOverSingleDisk(t *testing.T) {
+	base := NewMemFS()
+	s, err := StripeOver(base, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != FS(base) {
+		t.Fatal("StripeOver(base, 1) did not return the base FS")
+	}
+}
+
+// diskMeter records per-disk meter charges, standing in for the
+// cluster node's per-disk queues.
+type diskMeter struct {
+	vtime.Nop
+	blocks map[int]int64
+	seeks  map[int]int64
+}
+
+func newDiskMeter() *diskMeter {
+	return &diskMeter{blocks: map[int]int64{}, seeks: map[int]int64{}}
+}
+
+func (m *diskMeter) ChargeDiskIOBlocks(d int, n int64) { m.blocks[d] += n }
+func (m *diskMeter) ChargeDiskSeek(d int, n int64)     { m.seeks[d] += n }
+
+// TestStripedAccounting checks that block transfers on a striped file
+// are attributed round-robin to the member disks — in the per-disk PDM
+// counters, in the DiskMeter charges, and summing exactly to the node
+// counter.
+func TestStripedAccounting(t *testing.T) {
+	const blockKeys = 8
+	const disks = 4
+	_, s := stripedPair(t, disks, blockKeys)
+
+	var node pdm.Counter
+	perDisk := make([]*pdm.Counter, disks)
+	for i := range perDisk {
+		perDisk[i] = &pdm.Counter{}
+	}
+	meter := newDiskMeter()
+	acct := Accounting{Counter: &node, Meter: meter, Disks: perDisk}
+
+	// 10 blocks: disks 0,1 serve 3 blocks each, disks 2,3 serve 2.
+	keys := seq(10 * blockKeys)
+	if err := WriteFile(s, "f", keys, blockKeys, acct); err != nil {
+		t.Fatal(err)
+	}
+	for d, want := range []int64{3, 3, 2, 2} {
+		if got := perDisk[d].Writes(); got != want {
+			t.Fatalf("disk %d writes = %d, want %d", d, got, want)
+		}
+		if got := meter.blocks[d]; got != want {
+			t.Fatalf("disk %d meter blocks = %d, want %d", d, got, want)
+		}
+	}
+	if _, err := ReadFileAll(s, "f", blockKeys, acct); err != nil {
+		t.Fatal(err)
+	}
+	var sum pdm.IOStats
+	for _, c := range perDisk {
+		sum = sum.Add(c.Snapshot())
+	}
+	if sum != node.Snapshot() {
+		t.Fatalf("per-disk sum %+v != node counter %+v", sum, node.Snapshot())
+	}
+	if node.Reads() != 10 || node.Writes() != 10 {
+		t.Fatalf("node counter %+v, want 10 reads / 10 writes", node.Snapshot())
+	}
+
+	// ReadKeyAt charges the seek and the read to the disk holding the key.
+	f, err := s.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	idx := int64(3 * blockKeys) // first key of block 3 → disk 3
+	if _, err := ReadKeyAt(f, idx, acct); err != nil {
+		t.Fatal(err)
+	}
+	if got := perDisk[3].Seeks(); got != 1 {
+		t.Fatalf("disk 3 seeks = %d, want 1", got)
+	}
+	if got := meter.seeks[3]; got != 1 {
+		t.Fatalf("disk 3 meter seeks = %d, want 1", got)
+	}
+}
+
+// TestStripedAccountingOverlapped mirrors TestStripedAccounting through
+// the prefetch/write-behind paths: per-disk counts are identical to the
+// synchronous path and still sum to the node counter.
+func TestStripedAccountingOverlapped(t *testing.T) {
+	const blockKeys = 8
+	const disks = 4
+	_, s := stripedPair(t, disks, blockKeys)
+
+	var node pdm.Counter
+	perDisk := make([]*pdm.Counter, disks)
+	for i := range perDisk {
+		perDisk[i] = &pdm.Counter{}
+	}
+	acct := Accounting{Counter: &node, Meter: vtime.Nop{}, Disks: perDisk}
+	o := Overlap{Enabled: true, Depth: disks}
+
+	keys := seq(10 * blockKeys)
+	f, err := s.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewBlockWriter(f, blockKeys, acct, o)
+	if err := w.WriteKeys(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := s.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBlockReader(g, blockKeys, acct, o)
+	got := make([]record.Key, 0, len(keys))
+	buf := make([]record.Key, blockKeys)
+	for {
+		n, err := r.ReadKeys(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Release()
+	g.Close()
+	if len(got) != len(keys) {
+		t.Fatalf("read %d keys, want %d", len(got), len(keys))
+	}
+
+	for d, want := range []int64{3, 3, 2, 2} {
+		if got := perDisk[d].Writes(); got != want {
+			t.Fatalf("disk %d writes = %d, want %d", d, got, want)
+		}
+		if got := perDisk[d].Reads(); got != want {
+			t.Fatalf("disk %d reads = %d, want %d", d, got, want)
+		}
+	}
+	var sum pdm.IOStats
+	for _, c := range perDisk {
+		sum = sum.Add(c.Snapshot())
+	}
+	if sum != node.Snapshot() {
+		t.Fatalf("per-disk sum %+v != node counter %+v", sum, node.Snapshot())
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPDMAblation runs A10 end to end at test scale.  The ablation is
+// self-checking (byte-identical outputs, equal block I/Os where the
+// change is timing- or compute-only, strict virtual-time improvements),
+// so the test mostly asserts the row shape the BENCH_pdm.json baseline
+// and the regression gate rely on.
+func TestPDMAblation(t *testing.T) {
+	rows, err := PDMAblation(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[string]int{}
+	byVariant := map[string]PDMRow{}
+	for _, r := range rows {
+		parts[r.Part]++
+		byVariant[r.Part+"/"+r.Variant] = r
+		if r.OutputSHA == "" || r.BlockIOs <= 0 || r.VSec <= 0 {
+			t.Fatalf("row %s/%s incomplete: %+v", r.Part, r.Variant, r)
+		}
+	}
+	if parts["disks"] != 7 {
+		t.Fatalf("disks part has %d variants, want 7", parts["disks"])
+	}
+	if parts["run-formation"] != 4 {
+		t.Fatalf("run-formation part has %d variants, want 4", parts["run-formation"])
+	}
+	if r := byVariant["disks/d4-independent"]; r.Access != "independent" || r.D != 4 {
+		t.Fatalf("d4-independent row mislabelled: %+v", r)
+	}
+	if r := byVariant["run-formation/guidesort"]; r.RunFormer != "guidesort" {
+		t.Fatalf("guidesort row mislabelled: %+v", r)
+	}
+	out := PDMString(rows)
+	for _, frag := range []string{"d4-crash-resume", "galloping", "guidesort"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("PDMString missing %q", frag)
+		}
+	}
+}

@@ -108,6 +108,13 @@ type benchPipelineFile struct {
 	Rows       []AblationRow `json:"rows"`
 }
 
+// benchPDMFile mirrors benchtab's BENCH_pdm.json shape.
+type benchPDMFile struct {
+	Experiment string   `json:"experiment"`
+	SizeShift  uint     `json:"size_shift"`
+	Rows       []PDMRow `json:"rows"`
+}
+
 // benchScalingFile mirrors benchtab's BENCH_scaling.json shape.
 type benchScalingFile struct {
 	Experiment string       `json:"experiment"`
@@ -115,8 +122,9 @@ type benchScalingFile struct {
 	Rows       []ScalingRow `json:"rows"`
 }
 
-// RegressionGate loads the committed baselines from dir, re-runs the
-// experiments behind them at the baseline's own scale, and diffs.  A
+// RegressionGate loads the committed baselines from dir (pipeline, pdm
+// and scaling), re-runs the experiments behind them at the baseline's
+// own scale, and diffs.  A
 // missing baseline file is recorded in Skipped, not an error; maxP
 // caps how far the scaling re-run sweeps (baseline rows beyond the cap
 // are skipped with a note).
@@ -125,10 +133,50 @@ func RegressionGate(o Options, dir string, tolerancePct float64, maxP int) (*Reg
 	if err := rep.gatePipeline(o, filepath.Join(dir, "BENCH_pipeline.json")); err != nil {
 		return nil, err
 	}
+	if err := rep.gatePDM(o, filepath.Join(dir, "BENCH_pdm.json")); err != nil {
+		return nil, err
+	}
 	if err := rep.gateScaling(o, filepath.Join(dir, "BENCH_scaling.json"), maxP); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// gatePDM re-runs the A10 ablation at the baseline's committed scale
+// and diffs vsec (tolerance) and block I/Os (exact — the simulator is
+// deterministic, an extra block is an algorithmic change).  Output
+// hashes are not compared across machines; byte-identity is asserted
+// inside the experiment itself.
+func (r *RegressReport) gatePDM(o Options, path string) error {
+	var base benchPDMFile
+	ok, err := loadBench(path, &base)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		r.Skipped = append(r.Skipped, fmt.Sprintf("%s: no baseline committed", path))
+		return nil
+	}
+	o.SizeShift = base.SizeShift
+	rows, err := PDMAblation(o)
+	if err != nil {
+		return fmt.Errorf("regress: re-running pdm ablation: %w", err)
+	}
+	cur := make(map[string]PDMRow, len(rows))
+	for _, row := range rows {
+		cur[row.Part+"/"+row.Variant] = row
+	}
+	for _, b := range base.Rows {
+		key := "pdm/" + b.Part + "/" + b.Variant
+		c, found := cur[b.Part+"/"+b.Variant]
+		if !found {
+			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: variant gone from the re-run", key))
+			continue
+		}
+		r.compare(key, "vsec", b.VSec, c.VSec)
+		r.compare(key, "block_ios", float64(b.BlockIOs), float64(c.BlockIOs))
+	}
+	return nil
 }
 
 func (r *RegressReport) gatePipeline(o Options, path string) error {

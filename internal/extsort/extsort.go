@@ -74,6 +74,17 @@ type Config struct {
 	MessageKeys int
 	// RunFormation selects the run former for step 1.
 	RunFormation polyphase.RunFormation
+	// Disks is the PDM D parameter per node (default 1).  It must match
+	// the cluster's DisksPerNode: with D > 1 every node file is striped
+	// unit-by-unit across D member disks, so the on-disk layout — and
+	// hence the resume fingerprint — depends on it.
+	Disks int
+	// NoGalloping disables the merge kernel's multi-block galloping
+	// fast path everywhere (steps 1 and 5 and the pipelined merges).
+	// Compute-only: output bytes and PDM I/O counts are unchanged, so
+	// it too is excluded from the resume fingerprint.  Used as the
+	// ablation baseline.
+	NoGalloping bool
 	// Strategy selects the pivot scheme for step 2 (default
 	// RegularSampling, the paper's Algorithm 1).
 	Strategy Strategy
@@ -161,10 +172,10 @@ type Config struct {
 // sig fingerprints the parameters that must match between an
 // interrupted run and its resume.
 func (c Config) sig(inputName, outputName string) string {
-	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d topo=%d r=%d in=%s out=%s",
+	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d topo=%d r=%d d=%d in=%s out=%s",
 		[]int(c.Perf), c.BlockKeys, c.MemoryKeys, c.Tapes, c.MessageKeys,
 		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.Seed,
-		c.Topology, c.Radix, inputName, outputName)
+		c.Topology, c.Radix, c.Disks, inputName, outputName)
 }
 
 // ApplyDefaults fills zero-valued fields with the paper's defaults for
@@ -190,6 +201,9 @@ func (c *Config) applyDefaults(p int) {
 	}
 	if c.Radix <= 0 {
 		c.Radix = 4
+	}
+	if c.Disks <= 0 {
+		c.Disks = 1
 	}
 }
 
@@ -237,6 +251,9 @@ type Result struct {
 	StepTimes [5]float64
 	// NodeIO is each node's total I/O.
 	NodeIO []pdm.IOStats
+	// DiskIO[i][d] is node i's I/O on member disk d; nil per node when
+	// the node has a single disk.  Summing over d reproduces NodeIO[i].
+	DiskIO [][]pdm.IOStats
 	// StepIO[s][i] is node i's I/O during step s.
 	StepIO [5][]pdm.IOStats
 	// NodeAttr[i] splits node i's final clock into compute, disk,
@@ -294,11 +311,28 @@ func (r *Result) MaxPartition(v perf.Vector, class int) int64 {
 // sorted partition in outputName.
 func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result, error) {
 	p := c.P()
+	if err := cfg.resolveDisks(c); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults(p)
 	if err := cfg.Validate(p); err != nil {
 		return nil, err
 	}
 	return runWorkers(c, cfg, inputName, outputName, nil)
+}
+
+// resolveDisks aligns Config.Disks with the cluster's per-node disk
+// count: unset adopts the cluster's D (so the resume fingerprint always
+// records the real striping layout), an explicit mismatch is an error.
+func (c *Config) resolveDisks(cl *cluster.Cluster) error {
+	d := cl.Node(0).Disks()
+	if c.Disks <= 0 {
+		c.Disks = d
+	}
+	if c.Disks != d {
+		return fmt.Errorf("extsort: Config.Disks=%d does not match the cluster's %d disks per node", c.Disks, d)
+	}
+	return nil
 }
 
 // Resume continues an interrupted checkpointed Sort from the manifests
@@ -311,6 +345,9 @@ func Sort(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result
 // PDM counters.  The configuration must match the interrupted run's.
 func Resume(c *cluster.Cluster, cfg Config, inputName, outputName string) (*Result, record.Checksum, error) {
 	p := c.P()
+	if err := cfg.resolveDisks(c); err != nil {
+		return nil, record.Checksum{}, err
+	}
 	cfg.applyDefaults(p)
 	if err := cfg.Validate(p); err != nil {
 		return nil, record.Checksum{}, err
@@ -341,6 +378,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 		NodeClocks:     make([]float64, p),
 		PartitionSizes: make([]int64, p),
 		NodeIO:         make([]pdm.IOStats, p),
+		DiskIO:         make([][]pdm.IOStats, p),
 		NodeAttr:       make([]vtime.Breakdown, p),
 	}
 	for s := range res.StepIO {
@@ -388,6 +426,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	for i := 0; i < p; i++ {
 		res.NodeClocks[i] = c.Node(i).Clock()
 		res.NodeIO[i] = c.Node(i).IOStats()
+		res.DiskIO[i] = c.Node(i).DiskIO()
 		res.NodeAttr[i] = c.Node(i).Attribution()
 		sz, err := diskio.CountKeys(c.Node(i).FS(), outputName)
 		if err != nil {
@@ -461,7 +500,7 @@ func (w *worker) commit(phase int, files []checkpoint.FileInfo) error {
 	// Manifest I/O is charged to phase 0 (checkpointing is bookkeeping,
 	// not an Algorithm-1 step), and its virtual latency is observed.
 	step := n.Counter().CurrentPhase()
-	n.Counter().SetPhase(0)
+	n.SetIOPhase(0)
 	start := n.Clock()
 	var err error
 	if w.cfg.Merkle && phase == checkpoint.Phases {
@@ -473,7 +512,7 @@ func (w *worker) commit(phase int, files []checkpoint.FileInfo) error {
 		err = checkpoint.Save(n.FS(), m, n.Acct())
 	}
 	n.Metrics().Histogram("checkpoint.commit.vsec").Observe(n.Clock() - start)
-	n.Counter().SetPhase(step)
+	n.SetIOPhase(step)
 	if err != nil {
 		return err
 	}
@@ -501,7 +540,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 	// barrier, so waiting at the barrier counts as the step's idle time.
 	var attrBefore vtime.Breakdown
 	begin := func(step int) pdm.IOStats {
-		n.Counter().SetPhase(step + 1)
+		n.SetIOPhase(step + 1)
 		attrBefore = n.Attribution()
 		return n.IOStats()
 	}
@@ -512,7 +551,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 		stepEnds[step] = n.Clock()
 		stepIO[step][id] = n.IOStats().Sub(before)
 		stepAttr[step][id] = n.Attribution().Sub(attrBefore)
-		n.Counter().SetPhase(0)
+		n.SetIOPhase(0)
 		return nil
 	}
 
@@ -813,6 +852,7 @@ func (w *worker) polyCfg(prefix string) polyphase.Config {
 		Acct:         w.n.Acct(),
 		Overlap:      w.overlap(),
 		TempPrefix:   prefix,
+		NoGallop:     w.cfg.NoGalloping,
 	}
 }
 

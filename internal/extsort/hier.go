@@ -325,7 +325,7 @@ func (w *worker) mergeRoundDest(t, tag, d int, nbrs []int) error {
 		return err
 	}
 	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
-	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+	if err := polyphase.MergeOpt(srcs, n, out.WriteKeys, polyphase.MergeOptions{NoGallop: w.cfg.NoGalloping}); err != nil {
 		out.Close()
 		outFile.Close()
 		closeAll()
@@ -409,7 +409,7 @@ func (w *worker) fuseFinal(t, tag int, nbrs []int) (inputs []string, counts []in
 		return nil, nil, err
 	}
 	out := diskio.NewBlockWriter(outFile, cfg.BlockKeys, n.Acct(), w.overlap())
-	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+	if err := polyphase.MergeOpt(srcs, n, out.WriteKeys, polyphase.MergeOptions{NoGallop: w.cfg.NoGalloping}); err != nil {
 		out.Close()
 		outFile.Close()
 		return nil, nil, err

@@ -80,7 +80,7 @@ func (w *worker) pipelineMerge(recvNames []string) (counts []int64, err error) {
 	for i := range streams {
 		srcs[i] = streams[i]
 	}
-	if err := polyphase.Merge(srcs, n, out.WriteKeys); err != nil {
+	if err := polyphase.MergeOpt(srcs, n, out.WriteKeys, polyphase.MergeOptions{NoGallop: w.cfg.NoGalloping}); err != nil {
 		out.Close()
 		outFile.Close()
 		return nil, err

@@ -60,6 +60,14 @@ func (p Params) SortIOs(mode AccessMode) int64 {
 		logicalB := p.D * p.B
 		n := ceilDiv(p.N, logicalB)
 		m := p.M / logicalB
+		// Degenerate regime: with M < 2*D*B the memory cannot hold two
+		// logical blocks, so the striped merge degree m is 0 or 1 and
+		// log_m is undefined.  The best a striped sort can still do is a
+		// binary merge over partial stripes, so clamp the radix to 2
+		// explicitly rather than relying on LogCeil's silent floor.
+		if m < 2 {
+			m = 2
+		}
 		passes := LogCeil(n, m)
 		if passes < 1 {
 			passes = 1

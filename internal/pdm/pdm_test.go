@@ -232,6 +232,63 @@ func TestStripedPenaltyGrowsWithD(t *testing.T) {
 	}
 }
 
+func TestSortIOsStripedDegenerate(t *testing.T) {
+	// M < D*B: the striped logical block D*B does not fit in memory at
+	// all, so m = M/(D*B) is 0 and the old code handed LogCeil a zero
+	// radix.  The guard clamps the merge degree to a binary merge; the
+	// step count must stay finite, positive, and no better than the
+	// healthy-memory configuration.
+	deg := Params{N: 1 << 20, M: 1 << 6, B: 1 << 5, D: 8, P: 8} // M=64 < D*B=256
+	got := deg.SortIOs(Striped)
+	if got <= 0 {
+		t.Fatalf("degenerate SortIOs(Striped)=%d, want positive", got)
+	}
+	n := ceilDiv(deg.N, deg.D*deg.B)
+	if want := n * LogCeil(n, 2); got != want {
+		t.Fatalf("degenerate SortIOs(Striped)=%d, want binary-merge bound %d", got, want)
+	}
+	healthy := deg
+	healthy.M = 1 << 14 // m = 64 blocks
+	if h := healthy.SortIOs(Striped); h > got {
+		t.Fatalf("more memory made striped sort slower: M=%d -> %d steps, M=%d -> %d steps",
+			healthy.M, h, deg.M, got)
+	}
+}
+
+func TestSortIOsStripedSingleLogicalBlock(t *testing.T) {
+	// m = 1 (exactly one logical block of memory) is just as degenerate
+	// as m = 0: log base 1 diverges.  The clamp must cover it too.
+	p := Params{N: 1 << 18, M: 1 << 8, B: 1 << 4, D: 16, P: 16} // M = D*B = 256, m = 1
+	n := ceilDiv(p.N, p.D*p.B)
+	if got, want := p.SortIOs(Striped), n*LogCeil(n, 2); got != want {
+		t.Fatalf("m=1 SortIOs(Striped)=%d want %d", got, want)
+	}
+}
+
+func TestStripedPenaltyDegenerate(t *testing.T) {
+	// The penalty must stay finite and positive even where the striped
+	// model degenerates (M < D*B) — these parameters fail Validate, but
+	// the analytical helpers are documented to degrade gracefully.  (The
+	// >= 1 property is only claimed for validated parameters: here both
+	// bounds are clamped approximations and their ratio can dip below 1.)
+	p := Params{N: 1 << 22, M: 1 << 6, B: 1 << 5, D: 8, P: 8}
+	pen := p.StripedPenalty()
+	if math.IsNaN(pen) || math.IsInf(pen, 0) || pen <= 0 {
+		t.Fatalf("penalty not finite and positive: %v", pen)
+	}
+}
+
+func TestStripedPenaltyTinyInput(t *testing.T) {
+	// N <= D*B: one stripe holds everything.  A single parallel step
+	// suffices under striping, so the ratio can legitimately drop below
+	// one here — the test only pins down that it stays finite and
+	// positive instead of dividing by zero.
+	p := Params{N: 16, M: 8, B: 4, D: 8, P: 1}
+	if pen := p.StripedPenalty(); pen <= 0 || math.IsInf(pen, 0) || math.IsNaN(pen) {
+		t.Fatalf("tiny-input penalty %v", pen)
+	}
+}
+
 func TestStringContainsDerived(t *testing.T) {
 	p := Params{N: 100, M: 10, B: 2, D: 1, P: 1}
 	s := p.String()

@@ -95,7 +95,7 @@ func mergeGroup(cfg Config, inputs []string, out string) error {
 	w := diskio.NewBlockWriter(of, cfg.BlockKeys, cfg.Acct, cfg.Overlap)
 	defer w.Close()
 
-	if err := Merge(srcs, cfg.Acct.Meter, w.WriteKeys); err != nil {
+	if err := MergeOpt(srcs, cfg.Acct.Meter, w.WriteKeys, MergeOptions{NoGallop: cfg.NoGallop}); err != nil {
 		return err
 	}
 	if err := w.Close(); err != nil {

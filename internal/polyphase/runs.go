@@ -23,13 +23,24 @@ const (
 	// memory load is sorted into a single run", paper §2), producing
 	// runs of exactly MemoryKeys keys.
 	LoadSort
+	// Guidesort sorts memory loads like LoadSort but keeps a one-key
+	// "guide" — the largest key emitted so far — and extends the current
+	// run across load boundaries whenever the next sorted load starts at
+	// or above it.  One comparison per load replaces replacement
+	// selection's per-key heap traffic, giving a PDM-optimal single pass
+	// that still exploits presortedness (Guidesort's pass structure).
+	Guidesort
 )
 
 func (rf RunFormation) String() string {
-	if rf == ReplacementSelection {
+	switch rf {
+	case ReplacementSelection:
 		return "replacement-selection"
+	case Guidesort:
+		return "guidesort"
+	default:
+		return "load-sort"
 	}
-	return "load-sort"
 }
 
 // runSink receives each formed run: length in keys, and the keys are
@@ -65,6 +76,8 @@ func formRuns(
 		return formRunsReplacement(r, memoryKeys, meter, sink)
 	case LoadSort:
 		return formRunsLoadSort(r, memoryKeys, meter, sink)
+	case Guidesort:
+		return formRunsGuidesort(r, memoryKeys, meter, sink)
 	default:
 		return 0, 0, fmt.Errorf("polyphase: unknown run formation %d", how)
 	}
@@ -166,6 +179,63 @@ func formRunsLoadSort(r diskio.BlockReader, memoryKeys int, meter vtime.Meter, s
 		}
 		if err == io.EOF || n == 0 {
 			return runs, total, nil
+		}
+		if err != nil {
+			return runs, total, err
+		}
+	}
+}
+
+// formRunsGuidesort sorts memory loads and coalesces consecutive loads
+// into one run when the guide comparison allows it: if the new load's
+// smallest key is at least the largest key already emitted, the run
+// simply continues.  On sorted or near-sorted input the whole file
+// becomes a single run for one comparison per load; on random input it
+// degrades gracefully to LoadSort's run lengths.
+func formRunsGuidesort(r diskio.BlockReader, memoryKeys int, meter vtime.Meter, sink runSink) (int64, int64, error) {
+	load := make([]record.Key, memoryKeys)
+	var runs, total int64
+	inRun := false
+	var lastMax record.Key
+	endIfOpen := func() error {
+		if !inRun {
+			return nil
+		}
+		inRun = false
+		return sink.endRun()
+	}
+	for {
+		n, err := r.ReadKeys(load)
+		if n > 0 {
+			chunk := load[:n]
+			slices.Sort(chunk)
+			meter.ChargeCompute(nLogN(int64(n)))
+			if inRun {
+				// The guide comparison: does this load extend the run?
+				meter.ChargeCompute(1)
+				if chunk[0] < lastMax {
+					if serr := endIfOpen(); serr != nil {
+						return runs, total, serr
+					}
+				}
+			}
+			if !inRun {
+				if serr := sink.beginRun(); serr != nil {
+					return runs, total, serr
+				}
+				runs++
+				inRun = true
+			}
+			total += int64(n)
+			for _, k := range chunk {
+				if serr := sink.emit(k); serr != nil {
+					return runs, total, serr
+				}
+			}
+			lastMax = chunk[n-1]
+		}
+		if err == io.EOF || n == 0 {
+			return runs, total, endIfOpen()
 		}
 		if err != nil {
 			return runs, total, err

@@ -24,6 +24,21 @@ type Meter interface {
 	ChargeSeek(n int64)
 }
 
+// DiskMeter extends Meter for implementations that model D > 1 disks
+// per node with independent per-disk queues: the disk index says which
+// member device performs the transfer, so the meter can overlap charges
+// to distinct disks into one parallel I/O step and serialize charges to
+// the same disk.  cluster.Node implements it; the disk layer falls back
+// to the plain Meter charges when the meter does not.
+type DiskMeter interface {
+	Meter
+	// ChargeDiskIOBlocks charges the transfer of n blocks performed by
+	// member disk d of the node.
+	ChargeDiskIOBlocks(disk int, n int64)
+	// ChargeDiskSeek charges n random repositionings of member disk d.
+	ChargeDiskSeek(disk int, n int64)
+}
+
 // Category classifies where a slice of virtual time went.  Every clock
 // advance of a simulated node is attributed to exactly one category, so
 // the per-category totals sum to the node's clock (the invariant
@@ -224,6 +239,12 @@ func (Nop) EndOverlap() {}
 
 // ChargeOverlappedIOBlocks implements OverlapMeter.
 func (Nop) ChargeOverlappedIOBlocks(int64) {}
+
+// ChargeDiskIOBlocks implements DiskMeter.
+func (Nop) ChargeDiskIOBlocks(int, int64) {}
+
+// ChargeDiskSeek implements DiskMeter.
+func (Nop) ChargeDiskSeek(int, int64) {}
 
 // CostModel converts work units into virtual seconds.  The defaults are
 // calibrated (see DefaultCostModel) so that a speed-1 node external-sorts

@@ -1,0 +1,201 @@
+package hetsort
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetsort/internal/pdm"
+)
+
+// TestSortMultiDiskEquivalence: the PDM D parameter is timing-only at
+// the sort's interface — output, I/O counts and partitions are
+// identical at any D and access mode, per-disk counters sum to the node
+// counters, and D=4 finishes strictly faster than D=1.
+func TestSortMultiDiskEquivalence(t *testing.T) {
+	keys := make([]Key, 32768)
+	for i := range keys {
+		keys[i] = Key(2654435761 * uint32(i+7))
+	}
+	base := Config{MemoryKeys: 4096, BlockKeys: 128, Tapes: 5, MessageKeys: 512}
+	run := func(mut func(*Config)) ([]Key, *Report) {
+		cfg := base
+		mut(&cfg)
+		sorted, rep, err := Sort(keys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sorted, rep
+	}
+	s1, r1 := run(func(c *Config) {})
+	s4, r4 := run(func(c *Config) { c.Disks = 4 })
+	sInd, rInd := run(func(c *Config) { c.Disks = 4; c.DiskAccess = DiskAccessIndependent })
+
+	for name, s := range map[string][]Key{"D=4": s4, "D=4-independent": sInd} {
+		if len(s) != len(s1) {
+			t.Fatalf("%s returned %d keys, D=1 %d", name, len(s), len(s1))
+		}
+		for i := range s1 {
+			if s[i] != s1[i] {
+				t.Fatalf("%s output differs from D=1 at key %d", name, i)
+			}
+		}
+	}
+	for i := range r1.NodeIO {
+		if r1.NodeIO[i] != r4.NodeIO[i] || r1.NodeIO[i] != rInd.NodeIO[i] {
+			t.Fatalf("node %d I/O differs across D: %v / %v / %v",
+				i, r1.NodeIO[i], r4.NodeIO[i], rInd.NodeIO[i])
+		}
+	}
+	if r1.DiskIO != nil {
+		t.Fatal("Report.DiskIO populated at D=1")
+	}
+	if len(r4.DiskIO) != len(r4.NodeIO) {
+		t.Fatalf("Report.DiskIO has %d nodes, want %d", len(r4.DiskIO), len(r4.NodeIO))
+	}
+	for i, dio := range r4.DiskIO {
+		if len(dio) != 4 {
+			t.Fatalf("node %d has %d disk entries, want 4", i, len(dio))
+		}
+		var sum pdm.IOStats
+		for _, s := range dio {
+			sum = sum.Add(s)
+		}
+		if sum != r4.NodeIO[i] {
+			t.Fatalf("node %d per-disk sum %v != node I/O %v", i, sum, r4.NodeIO[i])
+		}
+	}
+	if r4.Time >= r1.Time {
+		t.Fatalf("D=4 (%v virtual s) not faster than D=1 (%v)", r4.Time, r1.Time)
+	}
+}
+
+// TestSortGuidesortFormer: the guidesort run former produces the same
+// partitions as the default former (pivots depend only on the sorted
+// file) and a valid sorted output.
+func TestSortGuidesortFormer(t *testing.T) {
+	keys := make([]Key, 20000)
+	for i := range keys {
+		keys[i] = Key(1664525*uint32(i) + 1013904223)
+	}
+	base := Config{MemoryKeys: 4096, BlockKeys: 128, Tapes: 5, MessageKeys: 512}
+	sortedDef, repDef, err := Sort(keys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := base
+	gs.RunFormation = RunGuidesort
+	sortedGS, repGS, err := Sort(keys, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sortedDef {
+		if sortedDef[i] != sortedGS[i] {
+			t.Fatalf("guidesort output differs at key %d", i)
+		}
+	}
+	for i := range repDef.PartitionSizes {
+		if repDef.PartitionSizes[i] != repGS.PartitionSizes[i] {
+			t.Fatalf("guidesort changed the partitioning: %v vs %v",
+				repGS.PartitionSizes, repDef.PartitionSizes)
+		}
+	}
+}
+
+// TestSortFileMultiDiskCrashResume: striped node disks survive the full
+// fault-tolerance cycle — a D=4 overlapped checkpointed run crashes,
+// resumes, and finishes byte-identical to both an uninterrupted D=4 run
+// and a plain D=1 run; resuming under a different D is refused (the
+// striped on-disk layout is part of the resume fingerprint).
+func TestSortFileMultiDiskCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.u32")
+	writeKeyFile(t, inPath, 40000)
+
+	cfg := Config{
+		Perf: []int{1, 1, 4, 4}, MemoryKeys: 4096, BlockKeys: 128, Tapes: 5, MessageKeys: 512,
+		Disks: 4, Overlap: true,
+	}
+
+	// Cross-D byte equality: a single-disk run is the reference.
+	d1Cfg := cfg
+	d1Cfg.Disks = 1
+	d1Cfg.WorkDir = filepath.Join(dir, "d1")
+	d1Out := filepath.Join(dir, "d1.u32")
+	if _, err := SortFile(inPath, d1Out, d1Cfg); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(d1Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refCfg := cfg
+	refCfg.WorkDir = filepath.Join(dir, "ref")
+	refCfg.Checkpoint.Enabled = true
+	refOut := filepath.Join(dir, "ref.u32")
+	refRep, err := SortFile(inPath, refOut, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, want) {
+		t.Fatal("D=4 output differs from D=1 output")
+	}
+	for i, dio := range refRep.DiskIO {
+		var sum pdm.IOStats
+		for _, s := range dio {
+			sum = sum.Add(s)
+		}
+		if sum != refRep.NodeIO[i] {
+			t.Fatalf("node %d per-disk sum %v != node I/O %v (overlapped run)", i, sum, refRep.NodeIO[i])
+		}
+	}
+
+	runCfg := cfg
+	runCfg.WorkDir = filepath.Join(dir, "work")
+	runCfg.Checkpoint.Enabled = true
+	runCfg.Checkpoint.CrashNode = 2
+	runCfg.Checkpoint.CrashPhase = 4
+	outPath := filepath.Join(dir, "out.u32")
+	if _, err := SortFile(inPath, outPath, runCfg); !IsCrash(err) {
+		t.Fatalf("want an injected crash, got %v", err)
+	}
+
+	// Resuming with a different disk count must be refused.
+	wrongCfg := cfg
+	wrongCfg.Disks = 2
+	wrongCfg.WorkDir = filepath.Join(dir, "work")
+	wrongCfg.Checkpoint.Enabled = true
+	if _, err := Resume(outPath, wrongCfg); err == nil {
+		t.Fatal("resume with mismatched disk count accepted")
+	}
+
+	resCfg := cfg
+	resCfg.WorkDir = filepath.Join(dir, "work")
+	resCfg.Checkpoint.Enabled = true
+	resRep, err := Resume(outPath, resCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed D=4 output differs from the reference")
+	}
+	for i, dio := range resRep.DiskIO {
+		var sum pdm.IOStats
+		for _, s := range dio {
+			sum = sum.Add(s)
+		}
+		if sum != resRep.NodeIO[i] {
+			t.Fatalf("node %d per-disk sum %v != node I/O %v (resumed run)", i, sum, resRep.NodeIO[i])
+		}
+	}
+}

@@ -68,6 +68,10 @@ type Report struct {
 	ReadBlocks, WriteBlocks int64
 	// NodeIO is each node's total PDM I/O (block transfers and seeks).
 	NodeIO []pdm.IOStats
+	// DiskIO[i][d] is node i's I/O on member disk d when the node has
+	// D > 1 disks (Config.Disks); nil per node at D = 1.  The per-disk
+	// entries of a node sum to its NodeIO entry.
+	DiskIO [][]pdm.IOStats
 	// StepIO[s][i] is node i's PDM I/O during step s of Algorithm 1
 	// (empty per-node entries for algorithms without a step structure).
 	// Checkpoint-manifest and setup I/O is attributed to no step, so
@@ -132,6 +136,12 @@ func newReport(res *extsort.Result, v perf.Vector) *Report {
 		r.WriteBlocks += io.Writes
 	}
 	r.NodeIO = append([]pdm.IOStats(nil), res.NodeIO...)
+	for _, dio := range res.DiskIO {
+		if dio != nil {
+			r.DiskIO = append([][]pdm.IOStats(nil), res.DiskIO...)
+			break
+		}
+	}
 	for s := range res.StepIO {
 		r.StepIO[s] = append([]pdm.IOStats(nil), res.StepIO[s]...)
 	}
@@ -187,6 +197,19 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  partitions: %v\n", r.PartitionSizes)
 	fmt.Fprintf(&b, "  block I/O: %d reads, %d writes\n", r.ReadBlocks, r.WriteBlocks)
+	if len(r.DiskIO) > 0 {
+		fmt.Fprintf(&b, "  per-disk I/O (node: r/w per member disk):\n")
+		for i, dio := range r.DiskIO {
+			if len(dio) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-6d", i)
+			for _, io := range dio {
+				fmt.Fprintf(&b, " %6d/%-6d", io.Reads, io.Writes)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
 	if len(r.NodeBreakdown) > 0 {
 		fmt.Fprintf(&b, "  where the time went (per node, virtual s):\n")
 		fmt.Fprintf(&b, "    %-6s %10s %10s %10s %10s %10s %10s\n", "node", "compute", "disk", "network", "idle", "clock", "overlapped")
