@@ -11,14 +11,22 @@
 //
 // Experiments: table1, table2, calibration, packets, table3, speedups,
 // figure1, distributions, ablations, checkpoint, pipeline, pdm, overlap,
-// attribution, scaling, regress, all.
+// attribution, scaling, histsort, regress, all.
 //
 // The regress experiment (not part of "all") is the perf-regression
-// gate: it re-runs the pipeline and pdm ablations and the scaling sweep
-// at the scales recorded in the committed BENCH_pipeline.json,
-// BENCH_pdm.json and BENCH_scaling.json, diffs vsec within -tolerance
-// percent and the protocol-integer metrics exactly, writes
-// BENCH_regress.json, and exits non-zero if anything regressed.
+// gate: it re-runs the pipeline, pdm and histsort ablations and the
+// scaling sweep at the scales recorded in the committed
+// BENCH_pipeline.json, BENCH_pdm.json, BENCH_histsort.json and
+// BENCH_scaling.json, diffs vsec within -tolerance percent and the
+// protocol-integer metrics exactly, writes BENCH_regress.json, and
+// exits non-zero if anything regressed.
+//
+// The histsort experiment (not part of "all": 16 full sorts at p up to
+// 256) is the adversarial pivot ablation: the four hostile generators
+// crossed with the four pivot strategies, self-checked for
+// byte-identical output across strategies, histogram expansion no worse
+// than regular sampling's, and fewer sample keys shipped.  It writes
+// BENCH_histsort.json.
 //
 // The pipeline experiment (ablation A8) additionally writes its rows to
 // BENCH_pipeline.json, the pdm experiment (ablation A10: the multi-disk
@@ -59,7 +67,7 @@ func main() {
 		trials  = flag.Int("trials", 5, "repetitions per measurement (paper: 30)")
 		onDisk  = flag.Bool("ondisk", false, "use real temporary directories for node disks")
 		tmp     = flag.String("tmpdir", "", "root directory for -ondisk")
-		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, pdm, overlap, attribution, scaling, regress, all")
+		which   = flag.String("experiment", "all", "experiment to run: table1, table2, calibration, packets, table3, speedups, figure1, distributions, ablations, checkpoint, pipeline, pdm, overlap, attribution, scaling, histsort, regress, all")
 		maxP    = flag.Int("maxp", 1024, "largest cluster size the scaling experiment sweeps to")
 		tolPct  = flag.Float64("tolerance", 5, "regress gate: allowed vsec increase in percent before failing")
 		benchD  = flag.String("bench-dir", ".", "regress gate: directory holding the committed BENCH_*.json baselines")
@@ -256,6 +264,26 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote BENCH_scaling.json")
+			return nil
+		})
+	}
+
+	// Not part of "all": 16 full sorts at p up to 256.  Run explicitly.
+	if *which == "histsort" {
+		run("histsort", func() error {
+			rows, err := experiments.HistsortAblation(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.HistsortString(rows))
+			if err := writeJSON("BENCH_histsort.json", struct {
+				Experiment string                    `json:"experiment"`
+				SizeShift  uint                      `json:"size_shift"`
+				Rows       []experiments.HistsortRow `json:"rows"`
+			}{"histsort", *shift, rows}); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_histsort.json")
 			return nil
 		})
 	}

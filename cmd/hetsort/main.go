@@ -41,8 +41,10 @@ func main() {
 		runForm  = flag.String("run-formation", hetsort.RunReplacementSelection, "initial run former: replacement-selection, load-sort, guidesort")
 		network  = flag.String("net", hetsort.NetworkFastEthernet, "network model: fast-ethernet, myrinet, ideal")
 		gen      = flag.Int64("gen", 0, "generate this many keys into -input instead of sorting")
-		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered)")
+		dist     = flag.String("dist", "uniform", "distribution for -gen (uniform, gaussian, zipf, sorted, reverse, nearly-sorted, bucket, staggered, heavy-dup, zipf-s2, staircase, sampler-killer)")
 		seed     = flag.Int64("seed", 1, "seed for -gen")
+		pivot    = flag.String("pivot", "", "pivot strategy: regular-sampling (default), overpartitioning, random-pivots, quantile-sketch, histogram")
+		histTol  = flag.Float64("hist-tol", 0, "histogram refinement tolerance as a fraction of the smallest share (default 0.05; -pivot histogram only)")
 		pipeline = flag.Bool("pipeline", false, "fuse steps 4+5: merge redistribution streams directly into the output")
 		topology = flag.String("topology", "flat", "redistribution topology: flat, tree, grid (tree/grid bound per-node fan-in at large p)")
 		radix    = flag.Int("radix", 0, "tree fan-in r for -topology tree (default 4)")
@@ -103,21 +105,23 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := hetsort.Config{
-		Perf:         perfV,
-		BlockKeys:    *block,
-		MemoryKeys:   *memory,
-		Tapes:        *tapes,
-		MessageKeys:  *msg,
-		Disks:        *disks,
-		DiskAccess:   *diskAcc,
-		RunFormation: *runForm,
-		Network:      *network,
-		WorkDir:      *workdir,
-		Trace:        *withGant || *traceOut != "" || *evtsOut != "",
-		Pipeline:     *pipeline,
-		Overlap:      *overlap,
-		Topology:     *topology,
-		Radix:        *radix,
+		Perf:          perfV,
+		BlockKeys:     *block,
+		MemoryKeys:    *memory,
+		Tapes:         *tapes,
+		MessageKeys:   *msg,
+		Disks:         *disks,
+		DiskAccess:    *diskAcc,
+		RunFormation:  *runForm,
+		Network:       *network,
+		WorkDir:       *workdir,
+		Trace:         *withGant || *traceOut != "" || *evtsOut != "",
+		Pipeline:      *pipeline,
+		Overlap:       *overlap,
+		Topology:      *topology,
+		Radix:         *radix,
+		PivotStrategy: *pivot,
+		HistTolerance: *histTol,
 	}
 	if *ckptDir != "" {
 		cfg.WorkDir = *ckptDir

@@ -95,6 +95,13 @@ const (
 	// ε-approximate sketches (the variant of the paper's reference
 	// [29]): one extra read pass, grid-free balance.
 	PivotQuantileSketch = "quantile-sketch"
+	// PivotHistogram iteratively refines candidate splitters against
+	// exact global histogram counts (Harsh, Kale & Solomonik's
+	// Histogram Sort with Sampling): provable balance within
+	// HistTolerance of every node's perf share, robust on the
+	// duplicate-heavy and adversarial inputs that defeat one-shot
+	// sampling, shipping only O(p) candidate keys per round.
+	PivotHistogram = "histogram"
 )
 
 // Topology names accepted by Config.Topology.
@@ -153,8 +160,13 @@ type Config struct {
 	// PivotRegularSampling); only meaningful for AlgorithmExternalPSRS.
 	PivotStrategy string
 	// QuantileEps is the sketch error bound when PivotStrategy is
-	// PivotQuantileSketch (default 0.01).
+	// PivotQuantileSketch (default 0.01).  Must be a finite value in
+	// (0, 1) when set.
 	QuantileEps float64
+	// HistTolerance is the refinement tolerance when PivotStrategy is
+	// PivotHistogram, as a fraction of the smallest perf share
+	// (default 0.05).  Must be a finite value in (0, 1) when set.
+	HistTolerance float64
 	// WorkDir, when non-empty, backs each node's disk with a real
 	// directory WorkDir/node<i> instead of an in-memory filesystem.
 	WorkDir string
@@ -354,6 +366,8 @@ func (c Config) pivotStrategy() (extsort.Strategy, error) {
 		return extsort.RandomPivots, nil
 	case PivotQuantileSketch:
 		return extsort.QuantileSketch, nil
+	case PivotHistogram:
+		return extsort.Histogram, nil
 	default:
 		return 0, fmt.Errorf("hetsort: unknown pivot strategy %q", c.PivotStrategy)
 	}
@@ -372,22 +386,32 @@ func (c Config) extsortConfig(v perf.Vector) (extsort.Config, error) {
 	if err != nil {
 		return extsort.Config{}, fmt.Errorf("hetsort: %w", err)
 	}
+	// NaN-rejecting range checks (every comparison against NaN is
+	// false, so the conditions are negated in-range tests): a NaN eps
+	// used to slip past the zero-value defaulting and reach the sketch.
+	if c.QuantileEps != 0 && !(c.QuantileEps > 0 && c.QuantileEps < 1) {
+		return extsort.Config{}, fmt.Errorf("hetsort: QuantileEps=%v must be a finite value in (0, 1)", c.QuantileEps)
+	}
+	if c.HistTolerance != 0 && !(c.HistTolerance > 0 && c.HistTolerance < 1) {
+		return extsort.Config{}, fmt.Errorf("hetsort: HistTolerance=%v must be a finite value in (0, 1)", c.HistTolerance)
+	}
 	return extsort.Config{
-		Perf:         v,
-		BlockKeys:    c.blockKeys(),
-		MemoryKeys:   c.MemoryKeys,
-		Tapes:        c.Tapes,
-		MessageKeys:  c.MessageKeys,
-		Disks:        c.Disks,
-		RunFormation: rf,
-		Strategy:     strat,
-		QuantileEps:  c.QuantileEps,
-		Seed:         c.Seed,
-		Pipeline:     c.Pipeline,
-		Overlap:      c.Overlap,
-		Topology:     topo,
-		Radix:        c.Radix,
-		Progress:     c.Progress,
+		Perf:          v,
+		BlockKeys:     c.blockKeys(),
+		MemoryKeys:    c.MemoryKeys,
+		Tapes:         c.Tapes,
+		MessageKeys:   c.MessageKeys,
+		Disks:         c.Disks,
+		RunFormation:  rf,
+		Strategy:      strat,
+		QuantileEps:   c.QuantileEps,
+		HistTolerance: c.HistTolerance,
+		Seed:          c.Seed,
+		Pipeline:      c.Pipeline,
+		Overlap:       c.Overlap,
+		Topology:      topo,
+		Radix:         c.Radix,
+		Progress:      c.Progress,
 	}, nil
 }
 

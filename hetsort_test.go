@@ -3,6 +3,7 @@ package hetsort
 import (
 	"bufio"
 	"encoding/binary"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -138,6 +139,31 @@ func TestSortConfigErrors(t *testing.T) {
 	}
 	if _, _, err := Sort(keys, Config{Nodes: 2, Loads: []float64{1}}); err == nil {
 		t.Fatal("mismatched loads accepted")
+	}
+}
+
+func TestSortRejectsBadTuningValues(t *testing.T) {
+	// NaN compares false against everything, so a plain `eps <= 0`
+	// guard waves it through; the config validation must reject it
+	// before it reaches the sketch.
+	keys := []Key{3, 1, 2}
+	for _, eps := range []float64{math.NaN(), math.Inf(1), -0.5, 1, 2} {
+		if _, _, err := Sort(keys, Config{PivotStrategy: PivotQuantileSketch, QuantileEps: eps}); err == nil {
+			t.Errorf("QuantileEps=%v accepted", eps)
+		} else if !strings.Contains(err.Error(), "QuantileEps") {
+			t.Errorf("QuantileEps=%v error does not name the field: %v", eps, err)
+		}
+	}
+	for _, tol := range []float64{math.NaN(), math.Inf(1), -0.1, 1, 1.5} {
+		if _, _, err := Sort(keys, Config{PivotStrategy: PivotHistogram, HistTolerance: tol}); err == nil {
+			t.Errorf("HistTolerance=%v accepted", tol)
+		} else if !strings.Contains(err.Error(), "HistTolerance") {
+			t.Errorf("HistTolerance=%v error does not name the field: %v", tol, err)
+		}
+	}
+	// The zero value still means "use the default".
+	if _, _, err := Sort(keys, Config{PivotStrategy: PivotHistogram}); err != nil {
+		t.Fatalf("default tolerance rejected: %v", err)
 	}
 }
 
@@ -290,7 +316,7 @@ func TestSortPivotStrategies(t *testing.T) {
 	for i := range keys {
 		keys[i] = Key(2654435761 * uint32(i+13))
 	}
-	for _, strat := range []string{PivotRegularSampling, PivotOverpartitioning, PivotRandom, PivotQuantileSketch} {
+	for _, strat := range []string{PivotRegularSampling, PivotOverpartitioning, PivotRandom, PivotQuantileSketch, PivotHistogram} {
 		t.Run(strat, func(t *testing.T) {
 			sorted, rep, err := Sort(keys, Config{
 				PivotStrategy: strat, MemoryKeys: 4096, BlockKeys: 128, Tapes: 5, MessageKeys: 512,

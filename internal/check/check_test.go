@@ -24,13 +24,14 @@ func TestSelect(t *testing.T) {
 	if got, want := len(Select("")), len(Registry()); got != want {
 		t.Fatalf("empty filter selected %d invariants, want all %d", got, want)
 	}
+	// Substring semantics: "balance" also picks up hist-balance.
 	got := Select("balance, step-io")
-	if len(got) != 2 || got[0].Name != "balance" || got[1].Name != "step-io" {
+	if len(got) != 3 || got[0].Name != "balance" || got[1].Name != "hist-balance" || got[2].Name != "step-io" {
 		names := make([]string, len(got))
 		for i, inv := range got {
 			names[i] = inv.Name
 		}
-		t.Fatalf("filter selected %v, want [balance step-io]", names)
+		t.Fatalf("filter selected %v, want [balance hist-balance step-io]", names)
 	}
 	if got := Select("no-such-invariant"); len(got) != 0 {
 		t.Fatalf("bogus filter selected %d invariants", len(got))
@@ -104,6 +105,40 @@ func TestBalanceInvariantTeeth(t *testing.T) {
 	rep.PartitionSizes = []int64{101, 0}
 	if err := inv.Check(o); err != nil {
 		t.Fatalf("balance invariant rejected the exact Theorem-1 bound: %v", err)
+	}
+}
+
+func TestHistBalanceInvariantTeeth(t *testing.T) {
+	inv := invariantByName(t, "hist-balance")
+	keys := make([]hetsort.Key, 100)
+	for i := range keys {
+		keys[i] = hetsort.Key(i)
+	}
+	c := &Case{Name: "synthetic", Keys: keys, Config: hetsort.Config{Nodes: 2}}
+	if inv.Applies(c) {
+		t.Fatal("hist-balance must not apply without the histogram strategy")
+	}
+	c.Config.PivotStrategy = hetsort.PivotHistogram
+	if !inv.Applies(c) {
+		t.Fatal("hist-balance should apply to the histogram strategy")
+	}
+	// share=50, default tol=max(1, 0.05*50)=2, maxdup=1, p=2:
+	// bound = 50 + 2*(2+1) + 2 = 58 — far below Theorem 1's 101.
+	rep := &hetsort.Report{PartitionSizes: []int64{59, 41}}
+	o := &Outcome{Case: c, Runs: []Run{{Label: "base", Config: c.Config, Output: keys, Report: rep}}}
+	if err := inv.Check(o); err == nil {
+		t.Fatal("hist-balance accepted a partition outside the refinement band")
+	}
+	rep.PartitionSizes = []int64{58, 42}
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("hist-balance rejected the exact bound: %v", err)
+	}
+	// A looser configured tolerance widens the band.
+	c.Config.HistTolerance = 0.5 // tol = 25
+	o.Runs[0].Config = c.Config
+	rep.PartitionSizes = []int64{59, 41}
+	if err := inv.Check(o); err != nil {
+		t.Fatalf("hist-balance ignored the configured tolerance: %v", err)
 	}
 }
 

@@ -93,6 +93,12 @@ func Registry() []Invariant {
 			Check:   eachRun(checkBalance),
 		},
 		{
+			Name:    "hist-balance",
+			Doc:     "histogram refinement: node i's final partition holds at most share_i + 2*(tol + maxdup) + p keys — a tighter band than Theorem 1's 2*share_i regular-sampling bound",
+			Applies: appliesHistBalance,
+			Check:   eachRun(checkHistBalance),
+		},
+		{
 			Name:    "step-io",
 			Doc:     "each Algorithm-1 step stays within its PDM block-I/O budget (DESIGN.md step bounds, with a fixed documented slack)",
 			Applies: appliesPSRS,
@@ -220,6 +226,51 @@ func checkBalance(c *Case, r *Run) error {
 	return nil
 }
 
+// appliesHistBalance gates the refinement bound to the histogram pivot
+// strategy.  Unlike Theorem 1 it needs no minimum portion size: the
+// rank histograms are exact regardless of how the keys are spread, so
+// the bound holds down to degenerate inputs.
+func appliesHistBalance(c *Case) bool {
+	return appliesPSRS(c) && c.Config.PivotStrategy == hetsort.PivotHistogram
+}
+
+// checkHistBalance verifies the refinement contract: every pivot's
+// global rank ends within tol of its cumulative share target (or, on a
+// duplicate plateau, within the worst multiplicity of it), so node i's
+// partition — the difference of two adjacent ranks — stays within
+// share_i + 2*(tol + maxdup), plus p for the largest-remainder
+// rounding of the targets themselves.
+func checkHistBalance(c *Case, r *Run) error {
+	if r.Report == nil {
+		return nil
+	}
+	v := vectorOf(r.Config)
+	shares := v.Shares(int64(len(c.Keys)))
+	minShare := int64(0)
+	for i, s := range shares {
+		if i == 0 || s < minShare {
+			minShare = s
+		}
+	}
+	htol := r.Config.HistTolerance
+	if htol == 0 {
+		htol = 0.05 // extsort's applyDefaults value
+	}
+	tol := int64(htol * float64(minShare))
+	if tol < 1 {
+		tol = 1
+	}
+	mult := maxMultiplicity(c.Keys)
+	for i, got := range r.Report.PartitionSizes {
+		bound := shares[i] + 2*(tol+mult) + int64(len(v))
+		if got > bound {
+			return fmt.Errorf("node %d holds %d keys > share(%d)+2*(tol(%d)+maxdup(%d))+p(%d)=%d (histogram refinement bound violated)",
+				i, got, shares[i], tol, mult, len(v), bound)
+		}
+	}
+	return nil
+}
+
 // checkStepIO verifies each node's per-step PDM block transfers against
 // the DESIGN.md budgets.  Resumed runs are exempt: recovery legitimately
 // redoes committed work.  Hierarchical-topology runs are exempt too: the
@@ -238,7 +289,7 @@ func checkStepIO(c *Case, r *Run) error {
 	pp := pdm.Params{N: maxInt64(n, 1), M: int64(cfg.MemoryKeys), B: int64(cfg.BlockKeys), D: 1, P: int64(p)}
 	for i := 0; i < p; i++ {
 		li, qi := shares[i], r.Report.PartitionSizes[i]
-		budgets := stepBudgets(pp, cfg, p, li, qi)
+		budgets := stepBudgets(pp, cfg, p, li, qi, r.Report.PivotRounds)
 		for s := 0; s < 5; s++ {
 			if len(r.Report.StepIO[s]) <= i {
 				continue
@@ -265,7 +316,10 @@ func checkStepIO(c *Case, r *Run) error {
 //
 // each plus ioSlack.  Polyphase passes are bounded with fan-in 2 — the
 // loosest tape count — so the budget is valid for every Tapes setting.
-func stepBudgets(pp pdm.Params, cfg hetsort.Config, p int, li, qi int64) [5]int64 {
+// The histogram strategy re-scans the sorted file once per refinement
+// round, so its step-2 budget is rounds full passes (rounds comes from
+// the report's PivotRounds; the other strategies report 1).
+func stepBudgets(pp pdm.Params, cfg hetsort.Config, p int, li, qi int64, rounds int) [5]int64 {
 	lb := ceilDiv(li, pp.B)
 	qb := ceilDiv(qi, pp.B)
 	runs := ceilDiv(maxInt64(li, 1), int64(cfg.MemoryKeys))
@@ -273,6 +327,9 @@ func stepBudgets(pp pdm.Params, cfg hetsort.Config, p int, li, qi int64) [5]int6
 	var b [5]int64
 	b[0] = 2*lb*(2+passes) + ioSlack
 	b[1] = lb + int64(8*p*vectorOf(cfg).Max()) + ioSlack
+	if cfg.PivotStrategy == hetsort.PivotHistogram && rounds > 1 {
+		b[1] = lb*int64(rounds) + ioSlack
+	}
 	b[2] = 2*lb + int64(p) + ioSlack
 	b[3] = lb + 2*qb + int64(2*p) + ioSlack
 	b[4] = pp.MergeIOs(qi, int64(p), int64(cfg.Tapes)) + ioSlack

@@ -90,6 +90,13 @@ func Shrink(c *Case, invariant string, opts RunOptions, maxRuns int) *Case {
 			return g, true
 		},
 		func(g hetsort.Config) (hetsort.Config, bool) {
+			if g.HistTolerance == 0 {
+				return g, false
+			}
+			g.HistTolerance = 0
+			return g, true
+		},
+		func(g hetsort.Config) (hetsort.Config, bool) {
 			if g.Seed == 0 {
 				return g, false
 			}
@@ -247,6 +254,9 @@ func configLiteral(cfg hetsort.Config) string {
 	}
 	if cfg.QuantileEps != 0 {
 		add("QuantileEps: %g", cfg.QuantileEps)
+	}
+	if cfg.HistTolerance != 0 {
+		add("HistTolerance: %g", cfg.HistTolerance)
 	}
 	if cfg.WorkDir != "" {
 		add("WorkDir: %q", cfg.WorkDir)

@@ -191,7 +191,7 @@ func CornerCases(quick bool) []*Case {
 		cfg.Perf = []int{1, 1, 4, 4}
 	})
 	// The degenerate sizes again under each non-default pivot strategy.
-	for _, strat := range []string{hetsort.PivotOverpartitioning, hetsort.PivotRandom, hetsort.PivotQuantileSketch} {
+	for _, strat := range []string{hetsort.PivotOverpartitioning, hetsort.PivotRandom, hetsort.PivotQuantileSketch, hetsort.PivotHistogram} {
 		strat := strat
 		add("empty/"+strat, nil, func(cfg *hetsort.Config) { cfg.PivotStrategy = strat })
 		add("n<p/"+strat, []hetsort.Key{9, 1}, func(cfg *hetsort.Config) { cfg.PivotStrategy = strat })
@@ -258,8 +258,12 @@ func GenerateCase(seed int64, quick bool) *Case {
 		cfg.Nodes = 4
 	}
 
-	strategies := []string{"", hetsort.PivotOverpartitioning, hetsort.PivotRandom, hetsort.PivotQuantileSketch}
+	strategies := []string{"", hetsort.PivotOverpartitioning, hetsort.PivotRandom,
+		hetsort.PivotQuantileSketch, hetsort.PivotHistogram}
 	cfg.PivotStrategy = strategies[r.Intn(len(strategies))]
+	if cfg.PivotStrategy == hetsort.PivotHistogram && r.Intn(2) == 0 {
+		cfg.HistTolerance = []float64{0.01, 0.1, 0.5}[r.Intn(3)]
+	}
 	switch r.Intn(3) {
 	case 1:
 		cfg.RunFormation = hetsort.RunLoadSort
@@ -333,7 +337,8 @@ func GenerateCase(seed int64, quick bool) *Case {
 	}
 
 	dists := []record.Distribution{record.Uniform, record.Zipf, record.Sorted,
-		record.Reverse, record.Staggered, record.Bucket, record.Gaussian, record.NearlySorted}
+		record.Reverse, record.Staggered, record.Bucket, record.Gaussian, record.NearlySorted,
+		record.HeavyDup, record.ZipfS2, record.Staircase, record.SamplerKiller}
 	dist := dists[r.Intn(len(dists))]
 	keys := dist.Generate(n, seed, p)
 	if r.Intn(8) == 0 {

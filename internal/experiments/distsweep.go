@@ -30,7 +30,7 @@ func DistributionSweep(o Options) ([]DistributionRow, error) {
 	v := PaperVector
 	n := v.NearestValidSize(o.scale(1 << 22))
 	var rows []DistributionRow
-	for _, d := range record.Distributions() {
+	for _, d := range record.PaperDistributions() {
 		c, err := o.newCluster(cluster.FastEthernet())
 		if err != nil {
 			return nil, err

@@ -115,6 +115,13 @@ type benchPDMFile struct {
 	Rows       []PDMRow `json:"rows"`
 }
 
+// benchHistsortFile mirrors benchtab's BENCH_histsort.json shape.
+type benchHistsortFile struct {
+	Experiment string        `json:"experiment"`
+	SizeShift  uint          `json:"size_shift"`
+	Rows       []HistsortRow `json:"rows"`
+}
+
 // benchScalingFile mirrors benchtab's BENCH_scaling.json shape.
 type benchScalingFile struct {
 	Experiment string       `json:"experiment"`
@@ -122,9 +129,9 @@ type benchScalingFile struct {
 	Rows       []ScalingRow `json:"rows"`
 }
 
-// RegressionGate loads the committed baselines from dir (pipeline, pdm
-// and scaling), re-runs the experiments behind them at the baseline's
-// own scale, and diffs.  A
+// RegressionGate loads the committed baselines from dir (pipeline, pdm,
+// histsort and scaling), re-runs the experiments behind them at the
+// baseline's own scale, and diffs.  A
 // missing baseline file is recorded in Skipped, not an error; maxP
 // caps how far the scaling re-run sweeps (baseline rows beyond the cap
 // are skipped with a note).
@@ -136,10 +143,56 @@ func RegressionGate(o Options, dir string, tolerancePct float64, maxP int) (*Reg
 	if err := rep.gatePDM(o, filepath.Join(dir, "BENCH_pdm.json")); err != nil {
 		return nil, err
 	}
+	if err := rep.gateHistsort(o, filepath.Join(dir, "BENCH_histsort.json")); err != nil {
+		return nil, err
+	}
 	if err := rep.gateScaling(o, filepath.Join(dir, "BENCH_scaling.json"), maxP); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// gateHistsort re-runs the adversarial pivot ablation and diffs vsec
+// (tolerance) plus the deterministic pivot-protocol metrics exactly:
+// the simulator is seeded, so a larger expansion, an extra refinement
+// round or an extra shipped sample is an algorithmic change, not noise.
+// The in-experiment gates (byte-identical output across strategies,
+// histogram no worse than regular sampling) re-fire on the re-run.
+func (r *RegressReport) gateHistsort(o Options, path string) error {
+	var base benchHistsortFile
+	ok, err := loadBench(path, &base)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		r.Skipped = append(r.Skipped, fmt.Sprintf("%s: no baseline committed", path))
+		return nil
+	}
+	o.SizeShift = base.SizeShift
+	rows, err := HistsortAblation(o)
+	if err != nil {
+		return fmt.Errorf("regress: re-running histsort ablation: %w", err)
+	}
+	cur := make(map[string]HistsortRow, len(rows))
+	rowKey := func(row HistsortRow) string {
+		return fmt.Sprintf("p=%d/%s/%s", row.P, row.Generator, row.Strategy)
+	}
+	for _, row := range rows {
+		cur[rowKey(row)] = row
+	}
+	for _, b := range base.Rows {
+		key := "histsort/" + rowKey(b)
+		c, found := cur[rowKey(b)]
+		if !found {
+			r.Skipped = append(r.Skipped, fmt.Sprintf("%s: point gone from the re-run", key))
+			continue
+		}
+		r.compare(key, "vsec", b.VSec, c.VSec)
+		r.compare(key, "expansion", b.Expansion, c.Expansion)
+		r.compare(key, "sample_keys", float64(b.SampleKeys), float64(c.SampleKeys))
+		r.compare(key, "rounds", float64(b.Rounds), float64(c.Rounds))
+	}
+	return nil
 }
 
 // gatePDM re-runs the A10 ablation at the baseline's committed scale

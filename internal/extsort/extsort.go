@@ -94,6 +94,11 @@ type Config struct {
 	// QuantileEps is the sketch error bound for QuantileSketch
 	// (default 0.01).
 	QuantileEps float64
+	// HistTolerance is the Histogram strategy's convergence tolerance
+	// as a fraction of the smallest perf share (default 0.05): the
+	// refinement stops once every pivot's global rank is within
+	// HistTolerance·min_share keys of its target.
+	HistTolerance float64
 	// Seed feeds the random samplers of the non-regular strategies.
 	Seed int64
 	// KeepIntermediates retains segment and received files for
@@ -172,9 +177,9 @@ type Config struct {
 // sig fingerprints the parameters that must match between an
 // interrupted run and its resume.
 func (c Config) sig(inputName, outputName string) string {
-	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g seed=%d topo=%d r=%d d=%d in=%s out=%s",
+	return fmt.Sprintf("extsort-v1 perf=%v B=%d M=%d T=%d msg=%d rf=%d strat=%d over=%d eps=%g htol=%g seed=%d topo=%d r=%d d=%d in=%s out=%s",
 		[]int(c.Perf), c.BlockKeys, c.MemoryKeys, c.Tapes, c.MessageKeys,
-		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.Seed,
+		c.RunFormation, c.Strategy, c.OverFactor, c.QuantileEps, c.HistTolerance, c.Seed,
 		c.Topology, c.Radix, c.Disks, inputName, outputName)
 }
 
@@ -205,6 +210,9 @@ func (c *Config) applyDefaults(p int) {
 	if c.Disks <= 0 {
 		c.Disks = 1
 	}
+	if c.HistTolerance == 0 {
+		c.HistTolerance = 0.05
+	}
 }
 
 // Validate checks the configuration against cluster size p.
@@ -231,6 +239,15 @@ func (c Config) Validate(p int) error {
 	}
 	if c.Radix < 2 {
 		return fmt.Errorf("extsort: Radix=%d must be >= 2", c.Radix)
+	}
+	// Written as negated in-range checks so NaN — for which every
+	// comparison is false — is rejected instead of slipping through to
+	// the sketch or refiner.
+	if c.QuantileEps != 0 && !(c.QuantileEps > 0 && c.QuantileEps < 1) {
+		return fmt.Errorf("extsort: QuantileEps=%v must be in (0, 1)", c.QuantileEps)
+	}
+	if c.HistTolerance != 0 && !(c.HistTolerance > 0 && c.HistTolerance < 1) {
+		return fmt.Errorf("extsort: HistTolerance=%v must be in (0, 1)", c.HistTolerance)
 	}
 	// The paper recommends message sizes that are multiples of the
 	// block size (step 4), but its own packet-size experiment goes down
@@ -265,6 +282,24 @@ type Result struct {
 	StepAttr [5][]vtime.Breakdown
 	// Pivots are the broadcast pivots (diagnostics).
 	Pivots []record.Key
+	// PivotRounds is the number of step-2 collective rounds: 1 for the
+	// one-shot strategies, the refinement round count for Histogram.
+	PivotRounds int
+	// PivotSampleKeys counts the key-valued samples entering the
+	// step-2 collectives — the "samples shipped" axis of the
+	// histogram-vs-sampling tradeoff.  Per strategy: regular/random
+	// sampling and overpartitioning count every node's sampled keys
+	// (plus the agreed sublist sizes for overpartitioning);
+	// QuantileSketch counts the exported (value, weight) pairs;
+	// Histogram counts the candidate splitters broadcast per round.
+	// Count vectors (integer metadata, not key samples) are excluded.
+	PivotSampleKeys int64
+}
+
+// pivotStats carries one node's step-2 accounting out of the strategy.
+type pivotStats struct {
+	Rounds     int
+	SampleKeys int64
 }
 
 // SublistExpansion returns the Table-3 S(max) metric for the run: the
@@ -387,6 +422,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	}
 	stepEnds := make([][5]float64, p) // per node, clock at each barrier
 	pivotsOut := make([][]record.Key, p)
+	statsOut := make([]pivotStats, p)
 
 	// Size the link queues from the dataset: step 4's send-all-then-
 	// receive-all exchange queues at most one whole segment (≤ l_i
@@ -417,7 +453,7 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	err := c.Run(func(n *cluster.Node) error {
 		w := worker{n: n, cfg: cfg, input: inputName, output: outputName,
 			plan: plan, sig: cfg.sig(inputName, outputName)}
-		return w.run(&stepEnds[n.ID()], &res.StepIO, &res.StepAttr, &pivotsOut[n.ID()])
+		return w.run(&stepEnds[n.ID()], &res.StepIO, &res.StepAttr, &pivotsOut[n.ID()], &statsOut[n.ID()])
 	})
 	if err != nil {
 		return nil, err
@@ -436,6 +472,12 @@ func runWorkers(c *cluster.Cluster, cfg Config, inputName, outputName string, pl
 	}
 	res.Time = c.MaxClock()
 	res.Pivots = pivotsOut[0]
+	for _, st := range statsOut {
+		if st.Rounds > res.PivotRounds {
+			res.PivotRounds = st.Rounds
+		}
+		res.PivotSampleKeys += st.SampleKeys
+	}
 	// Step durations: max end over nodes, minus max previous end.
 	prev := 0.0
 	for s := 0; s < 5; s++ {
@@ -467,6 +509,9 @@ type worker struct {
 	plan   *checkpoint.Recovery
 	sig    string
 	pivots []record.Key
+
+	// pstats accumulates this node's step-2 sample/round accounting.
+	pstats pivotStats
 }
 
 // done returns how many phases this node had committed before the run
@@ -531,7 +576,7 @@ func (w *worker) skipPhase(step int) {
 	w.n.TraceEvent(trace.Recovery, StepNames[step], "skipped (already committed)")
 }
 
-func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[5][]vtime.Breakdown, pivotsOut *[]record.Key) error {
+func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[5][]vtime.Breakdown, pivotsOut *[]record.Key, pstatsOut *pivotStats) error {
 	n := w.n
 	id := n.ID()
 	done := w.done()
@@ -629,6 +674,8 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 			pivots, err = w.selectPivotsRandom(li)
 		case QuantileSketch:
 			pivots, err = w.selectPivotsQuantile(li)
+		case Histogram:
+			pivots, err = w.selectPivotsHistogram(li)
 		default:
 			err = fmt.Errorf("unknown strategy %d", w.cfg.Strategy)
 		}
@@ -643,6 +690,7 @@ func (w *worker) run(stepEnds *[5]float64, stepIO *[5][]pdm.IOStats, stepAttr *[
 	}
 	endPhase()
 	*pivotsOut = pivots
+	*pstatsOut = w.pstats
 	if err := mark(1, before); err != nil {
 		return err
 	}
@@ -872,12 +920,16 @@ func (w *worker) selectPivots(li int64) ([]record.Key, error) {
 	}
 	var samples []record.Key
 	if li > 0 {
-		spacing, _, serr := sampling.HeteroSpacing(li, cfg.Perf[id], p)
+		spacing, _, serr := sampling.HeteroSpacing(id, li, cfg.Perf[id], p)
 		if serr != nil {
+			var spErr *sampling.SpacingError
+			if !errors.As(serr, &spErr) {
+				return nil, fmt.Errorf("strategy %s: %w", cfg.Strategy, serr)
+			}
 			// Portion too small for regular spacing: sample everything.
 			samples, serr = diskio.ReadFileAll(n.FS(), w.sortedName(), cfg.BlockKeys, n.Acct())
 			if serr != nil {
-				return nil, serr
+				return nil, fmt.Errorf("strategy %s small-portion fallback (%v): %w", cfg.Strategy, spErr, serr)
 			}
 		} else {
 			f, err := n.FS().Open(w.sortedName())
@@ -897,6 +949,8 @@ func (w *worker) selectPivots(li int64) ([]record.Key, error) {
 			}
 		}
 	}
+	w.pstats.Rounds = 1
+	w.pstats.SampleKeys = int64(len(samples))
 	var pivots []record.Key
 	if w.hier() {
 		// Aggregate up the radix-r reduction tree: each inner node merges

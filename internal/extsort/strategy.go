@@ -36,6 +36,16 @@ const (
 	// sketches instead of p^2 samples, and the pivots are not limited
 	// to the regular-sample grid.
 	QuantileSketch
+	// Histogram is iterative splitter refinement (Harsh, Kale &
+	// Solomonik's Histogram Sort with Sampling): node 0 broadcasts
+	// candidate splitters each round, every node histograms its sorted
+	// file against them in one scan, the counts reduce up the
+	// collective tree, and the candidates narrow until every pivot's
+	// global rank is within HistTolerance of its perf-share target —
+	// provable balance on adversarial and duplicate-heavy inputs where
+	// one-shot sampling degrades, with only O(p) keys shipped per
+	// round instead of O(p²) samples (see internal/histsort).
+	Histogram
 )
 
 func (s Strategy) String() string {
@@ -48,6 +58,8 @@ func (s Strategy) String() string {
 		return "random-pivots"
 	case QuantileSketch:
 		return "quantile-sketch"
+	case Histogram:
+		return "histogram"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -91,6 +103,8 @@ func (w *worker) selectPivotsRandom(li int64) ([]record.Key, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.pstats.Rounds = 1
+	w.pstats.SampleKeys = int64(len(samples))
 	// TreeGather presents the root the same per-rank slices as the flat
 	// gather, so the hierarchical dispatch changes no pivot byte.
 	gathered, err := w.gather(tagSamples, samples)
@@ -133,6 +147,8 @@ func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.pstats.Rounds = 1
+	w.pstats.SampleKeys = int64(len(samples))
 	gathered, err := w.gather(tagSamples, samples)
 	if err != nil {
 		return nil, err
@@ -161,10 +177,11 @@ func (w *worker) selectPivotsOver(li int64) ([]record.Key, error) {
 	if err != nil {
 		return nil, err
 	}
-	sizeKeys := make([]record.Key, len(sizes))
-	for i, s := range sizes {
-		sizeKeys[i] = record.Key(s)
+	sizeKeys, err := keysFromCounts(sizes)
+	if err != nil {
+		return nil, err
 	}
+	w.pstats.SampleKeys += int64(len(sizeKeys))
 	all, err := w.allGather(tagOverSizes, sizeKeys)
 	if err != nil {
 		return nil, err
@@ -229,6 +246,8 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 		}
 	}
 	vals, weights := sk.Export()
+	w.pstats.Rounds = 1
+	w.pstats.SampleKeys = 2 * int64(len(vals))
 	if w.hier() {
 		// Sketches combine pairwise up the reduction tree: each inner
 		// node merges its children's summaries into its own and forwards
@@ -237,7 +256,11 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 		// the flat run's — the topology is an outcome parameter for this
 		// strategy (both partitionings satisfy the sketch error bound,
 		// and the global sorted output is identical either way).
-		agg, err := n.TreeReduce(w.collRadix(), tagSamples, encodeSketch(vals, weights),
+		enc, err := encodeSketch(vals, weights)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := n.TreeReduce(w.collRadix(), tagSamples, enc,
 			func(acc, child []record.Key) ([]record.Key, error) {
 				av, aw := decodeSketch(acc)
 				cv, cw := decodeSketch(child)
@@ -252,7 +275,7 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 				n.ChargeCompute(int64(sa.TupleCount()+sc.TupleCount()) * 8)
 				sa.Merge(sc)
 				mv, mw := sa.Export()
-				return encodeSketch(mv, mw), nil
+				return encodeSketch(mv, mw)
 			})
 		if err != nil {
 			return nil, err
@@ -269,9 +292,9 @@ func (w *worker) selectPivotsQuantile(li int64) ([]record.Key, error) {
 		}
 		return w.bcast(tagPivots, pivots)
 	}
-	wk := make([]record.Key, len(weights))
-	for i, wt := range weights {
-		wk[i] = record.Key(wt)
+	wk, err := quantile.WeightsToKeys(weights)
+	if err != nil {
+		return nil, err
 	}
 	gv, err := n.Gather(0, tagSamples, vals)
 	if err != nil {
@@ -324,14 +347,32 @@ func (w *worker) quantilePivots(merged *quantile.Summary) []record.Key {
 }
 
 // encodeSketch flattens a sketch export into one key slice for the
-// reduction tree — (value, weight) pairs interleaved; weights fit a Key
-// because they never exceed the (32-bit-keyed) dataset size.
-func encodeSketch(vals []record.Key, weights []int64) []record.Key {
+// reduction tree — (value, weight) pairs interleaved.  Weights normally
+// fit a Key because they never exceed the (32-bit-keyed) dataset size,
+// but a wider weight is surfaced as an error rather than truncated.
+func encodeSketch(vals []record.Key, weights []int64) ([]record.Key, error) {
+	wk, err := quantile.WeightsToKeys(weights)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]record.Key, 0, 2*len(vals))
 	for i, v := range vals {
-		out = append(out, v, record.Key(weights[i]))
+		out = append(out, v, wk[i])
 	}
-	return out
+	return out, nil
+}
+
+// keysFromCounts converts sublist-size counters to wire keys for the
+// size agreement, surfacing 32-bit overflow instead of wrapping.
+func keysFromCounts(counts []int64) ([]record.Key, error) {
+	out := make([]record.Key, len(counts))
+	for i, c := range counts {
+		if c < 0 || c > int64(^record.Key(0)) {
+			return nil, fmt.Errorf("sublist size %d overflows the 32-bit wire format", c)
+		}
+		out[i] = record.Key(c)
+	}
+	return out, nil
 }
 
 func decodeSketch(enc []record.Key) ([]record.Key, []int64) {

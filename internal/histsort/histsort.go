@@ -1,0 +1,313 @@
+// Package histsort implements the splitter refinement at the heart of
+// Histogram Sort with Sampling (Harsh, Kale & Solomonik, SPAA 2019):
+// instead of one-shot regular sampling, the root keeps a bracketing
+// interval around every pivot's target global rank and iteratively
+// proposes candidate splitters, narrowing each interval with the exact
+// global histogram counts the cluster reports back, until every pivot's
+// rank is provably within a tolerance of its heterogeneous perf-share
+// target.
+//
+// Convergence is deterministic even on hostile inputs: a candidate is
+// normally placed by rank interpolation (fast on smooth regions), but
+// whenever an interval fails to halve between two consecutive proposals
+// the refiner falls back to midpoint subdivision, so every interval's
+// key-space width at least halves every two rounds and the refinement
+// finishes in at most 2·log2(keyspace) ≈ 64 rounds regardless of the
+// distribution.  An interval that collapses to zero key-space width
+// (all remaining mass is one duplicated key) resolves to its nearer
+// endpoint, which bounds that pivot's rank error by the key's
+// multiplicity — the best any splitter-based partitioner can do.
+package histsort
+
+import (
+	"fmt"
+
+	"hetsort/internal/record"
+)
+
+// maxKey is the top of the 32-bit key space.
+const maxKey = int64(^record.Key(0))
+
+// DefaultMaxRounds caps the refinement loop.  Midpoint fallback halves
+// every interval's width at least every second round, so 2·32 rounds
+// always suffice for the 32-bit key space; the few extra rounds are
+// slack for the interpolation steps that precede a fallback.
+const DefaultMaxRounds = 72
+
+// Config parameterises a refinement.
+type Config struct {
+	// Targets are the wanted global ranks of the p-1 pivots, in
+	// non-decreasing order: Targets[j] is the number of keys that
+	// should land at or below pivot j (the cumulative perf shares).
+	Targets []int64
+	// Total is the global key count.
+	Total int64
+	// Tolerance is the acceptable |rank - target| slack in keys
+	// (minimum 1: ranks are integers).
+	Tolerance int64
+	// MaxRounds caps the loop (0 = DefaultMaxRounds).
+	MaxRounds int
+}
+
+// bracket tracks one pivot's search state: the invariant is
+// rank(lo) = loRank ≤ target ≤ hiRank = rank(hi), with lo = -1 playing
+// -∞ (rank 0).  Candidates are drawn from the open key interval
+// (lo, hi).
+type bracket struct {
+	lo, hi         int64 // key-space endpoints; lo = -1 means -∞
+	loRank, hiRank int64
+	target         int64
+	prevWidth      int64 // width at the previous proposal (0 = none yet)
+	proposal       int64 // candidate in flight (-1 = none)
+	resolved       bool
+	pivot          record.Key
+}
+
+// Refiner runs the root side of the histogram protocol: call
+// Candidates, count the returned splitters over the global data, and
+// feed the aggregated ranks to Observe; repeat until Done.
+type Refiner struct {
+	brackets []bracket
+	tol      int64
+	maxR     int
+	rounds   int
+}
+
+// NewRefiner validates cfg and builds the initial brackets.  With no
+// targets (p = 1) or an empty input the refinement is immediately done
+// and the pivots are trivial.
+func NewRefiner(cfg Config) (*Refiner, error) {
+	if cfg.Total < 0 {
+		return nil, fmt.Errorf("histsort: negative total %d", cfg.Total)
+	}
+	tol := cfg.Tolerance
+	if tol < 1 {
+		tol = 1
+	}
+	maxR := cfg.MaxRounds
+	if maxR <= 0 {
+		maxR = DefaultMaxRounds
+	}
+	r := &Refiner{tol: tol, maxR: maxR}
+	prev := int64(0)
+	for j, t := range cfg.Targets {
+		if t < 0 || t > cfg.Total {
+			return nil, fmt.Errorf("histsort: target[%d]=%d outside [0,%d]", j, t, cfg.Total)
+		}
+		if t < prev {
+			return nil, fmt.Errorf("histsort: target[%d]=%d decreases below %d", j, t, prev)
+		}
+		prev = t
+		b := bracket{lo: -1, hi: maxKey, loRank: 0, hiRank: cfg.Total,
+			target: t, proposal: -1}
+		if cfg.Total == 0 {
+			b.resolved = true // no keys: every pivot is trivially exact
+		}
+		r.brackets = append(r.brackets, b)
+	}
+	return r, nil
+}
+
+// Done reports whether every pivot is resolved.
+func (r *Refiner) Done() bool {
+	for i := range r.brackets {
+		if !r.brackets[i].resolved {
+			return false
+		}
+	}
+	return true
+}
+
+// Rounds returns the number of completed Candidates/Observe rounds.
+func (r *Refiner) Rounds() int { return r.rounds }
+
+// Candidates returns the next round's candidate splitters, sorted and
+// deduplicated (several brackets may propose the same key), or nil when
+// the refinement is done.
+func (r *Refiner) Candidates() []record.Key {
+	if r.Done() {
+		return nil
+	}
+	if r.rounds >= r.maxR {
+		// Safety valve: accept the nearer endpoint everywhere.  The
+		// midpoint fallback makes this unreachable in practice.
+		for i := range r.brackets {
+			if !r.brackets[i].resolved {
+				r.brackets[i].collapse()
+			}
+		}
+		return nil
+	}
+	var cands []record.Key
+	seen := make(map[record.Key]bool)
+	for i := range r.brackets {
+		b := &r.brackets[i]
+		if b.resolved {
+			continue
+		}
+		if b.hi-b.lo <= 1 {
+			// Zero key-space width left: everything between the
+			// endpoints is one duplicated key value.
+			b.collapse()
+			continue
+		}
+		c := b.propose()
+		b.proposal = c
+		if k := record.Key(c); !seen[k] {
+			seen[k] = true
+			cands = append(cands, k)
+		}
+	}
+	if len(cands) == 0 {
+		return nil // every unresolved bracket collapsed this round
+	}
+	sortKeys(cands)
+	return cands
+}
+
+// propose picks the bracket's next candidate in (lo, hi): rank
+// interpolation when the interval has been halving, the exact midpoint
+// when it stalled (duplicate plateaus defeat interpolation).
+func (b *bracket) propose() int64 {
+	width := b.hi - b.lo
+	defer func() { b.prevWidth = width }()
+	if b.prevWidth > 0 && 2*width > b.prevWidth {
+		return b.lo + width/2 // stalled: deterministic midpoint subdivision
+	}
+	span := b.hiRank - b.loRank
+	if span <= 0 {
+		return b.lo + width/2
+	}
+	c := b.lo + 1 + (width-1)*(b.target-b.loRank)/span
+	if c <= b.lo {
+		c = b.lo + 1
+	}
+	if c >= b.hi {
+		c = b.hi - 1
+	}
+	return c
+}
+
+// collapse resolves a bracket whose key-space interval is exhausted (or
+// whose round budget ran out) to the endpoint with the nearer rank.
+// The lo = -1 endpoint cannot be expressed as a key; key 0 routes at
+// most rank(0) extra keys below, which the duplicate bound absorbs.
+func (b *bracket) collapse() {
+	b.resolved = true
+	if b.lo >= 0 && b.target-b.loRank <= b.hiRank-b.target {
+		b.pivot = record.Key(b.lo)
+		return
+	}
+	if b.lo < 0 && b.target-b.loRank <= b.hiRank-b.target {
+		b.pivot = 0
+		return
+	}
+	b.pivot = record.Key(b.hi)
+}
+
+// Observe completes a round: ranks[j] must be the global rank of
+// cands[j] — the number of keys ≤ cands[j] over the whole input — for
+// the exact slice the preceding Candidates call returned.
+func (r *Refiner) Observe(cands []record.Key, ranks []int64) error {
+	if len(cands) != len(ranks) {
+		return fmt.Errorf("histsort: %d ranks for %d candidates", len(ranks), len(cands))
+	}
+	rank := make(map[record.Key]int64, len(cands))
+	for j, c := range cands {
+		rank[c] = ranks[j]
+	}
+	r.rounds++
+	for i := range r.brackets {
+		b := &r.brackets[i]
+		if b.resolved || b.proposal < 0 {
+			continue
+		}
+		c := b.proposal
+		b.proposal = -1
+		rk, ok := rank[record.Key(c)]
+		if !ok {
+			return fmt.Errorf("histsort: no rank reported for candidate %d", c)
+		}
+		switch {
+		case abs64(rk-b.target) <= r.tol:
+			b.resolved = true
+			b.pivot = record.Key(c)
+		case rk < b.target:
+			b.lo, b.loRank = c, rk
+		default:
+			b.hi, b.hiRank = c, rk
+		}
+	}
+	return nil
+}
+
+// Pivots returns the refined splitters, forced non-decreasing: within
+// the tolerance two adjacent brackets can resolve in crossed order, and
+// the partitioner requires monotone pivots.  Valid only once Done.
+func (r *Refiner) Pivots() []record.Key {
+	out := make([]record.Key, len(r.brackets))
+	var run record.Key
+	for i := range r.brackets {
+		if p := r.brackets[i].pivot; p > run {
+			run = p
+		}
+		out[i] = run
+	}
+	return out
+}
+
+// EncodeCounts packs int64 counters into key pairs (hi word, lo word)
+// so count vectors ride the cluster's record.Key collectives.  The
+// combining reduction decodes, adds and re-encodes — exact 64-bit
+// arithmetic, associative and commutative, so tree and flat
+// aggregations agree byte for byte.
+func EncodeCounts(vals []int64) []record.Key {
+	out := make([]record.Key, 0, 2*len(vals))
+	for _, v := range vals {
+		out = append(out, record.Key(uint64(v)>>32), record.Key(uint64(v)))
+	}
+	return out
+}
+
+// DecodeCounts unpacks EncodeCounts' pairs.
+func DecodeCounts(enc []record.Key) []int64 {
+	out := make([]int64, 0, len(enc)/2)
+	for i := 0; i+1 < len(enc); i += 2 {
+		out = append(out, int64(uint64(enc[i])<<32|uint64(enc[i+1])))
+	}
+	return out
+}
+
+// AddCounts element-wise adds two encoded count vectors (the collective
+// combiner).
+func AddCounts(acc, child []record.Key) []record.Key {
+	a, b := DecodeCounts(acc), DecodeCounts(child)
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i := range b {
+		a[i] += b[i]
+	}
+	return EncodeCounts(a)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// sortKeys is an insertion sort: candidate sets are O(p) and nearly
+// sorted (brackets are ordered by target).
+func sortKeys(keys []record.Key) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+}

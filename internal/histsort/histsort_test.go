@@ -1,0 +1,249 @@
+package histsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hetsort/internal/record"
+)
+
+// drive runs the full protocol against an in-memory sorted key slice,
+// returning the pivots and the round count.
+func drive(t *testing.T, keys []record.Key, targets []int64, tol int64) ([]record.Key, int) {
+	t.Helper()
+	r, err := NewRefiner(Config{Targets: targets, Total: int64(len(keys)), Tolerance: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cands := r.Candidates()
+		if cands == nil {
+			break
+		}
+		ranks := make([]int64, len(cands))
+		for j, c := range cands {
+			ranks[j] = int64(sort.Search(len(keys), func(i int) bool { return keys[i] > c }))
+		}
+		if err := r.Observe(cands, ranks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Done() {
+		t.Fatal("refiner stopped issuing candidates while not done")
+	}
+	return r.Pivots(), r.Rounds()
+}
+
+// rank returns |{k in keys : k <= c}|.
+func rank(keys []record.Key, c record.Key) int64 {
+	return int64(sort.Search(len(keys), func(i int) bool { return keys[i] > c }))
+}
+
+// maxMult returns the largest key multiplicity.
+func maxMult(keys []record.Key) int64 {
+	var best, run int64
+	for i := range keys {
+		if i > 0 && keys[i] == keys[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// checkBound asserts every pivot's achieved rank is within
+// tolerance + multiplicity of its target — the refinement guarantee.
+func checkBound(t *testing.T, keys []record.Key, targets []int64, pivots []record.Key, tol int64) {
+	t.Helper()
+	dup := maxMult(keys)
+	for j, pv := range pivots {
+		got := rank(keys, pv)
+		if d := got - targets[j]; d > tol+dup || d < -(tol+dup) {
+			t.Fatalf("pivot %d rank %d misses target %d by %d (tol %d, dup %d)",
+				j, got, targets[j], d, tol, dup)
+		}
+	}
+}
+
+func uniformKeys(n int, seed int64) []record.Key {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]record.Key, n)
+	for i := range keys {
+		keys[i] = record.Key(rng.Uint32())
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func evenTargets(n int64, p int) []int64 {
+	out := make([]int64, p-1)
+	for j := range out {
+		out[j] = n * int64(j+1) / int64(p)
+	}
+	return out
+}
+
+func TestUniformConverges(t *testing.T) {
+	keys := uniformKeys(100000, 1)
+	targets := evenTargets(int64(len(keys)), 16)
+	pivots, rounds := drive(t, keys, targets, 100)
+	checkBound(t, keys, targets, pivots, 100)
+	if rounds == 0 || rounds > DefaultMaxRounds {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	// Interpolation should land fast on a smooth distribution.
+	if rounds > 12 {
+		t.Fatalf("uniform input took %d rounds; interpolation is not working", rounds)
+	}
+}
+
+func TestHeterogeneousTargets(t *testing.T) {
+	keys := uniformKeys(60000, 2)
+	// Perf {1,1,4,4}: cumulative shares 1/10, 2/10, 6/10.
+	n := int64(len(keys))
+	targets := []int64{n / 10, 2 * n / 10, 6 * n / 10}
+	pivots, _ := drive(t, keys, targets, 50)
+	checkBound(t, keys, targets, pivots, 50)
+}
+
+func TestAllDuplicatesCollapses(t *testing.T) {
+	keys := make([]record.Key, 5000)
+	for i := range keys {
+		keys[i] = 42
+	}
+	targets := evenTargets(5000, 8)
+	pivots, rounds := drive(t, keys, targets, 1)
+	if rounds > DefaultMaxRounds {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	// Every pivot must be 41 or 42: the single key's rank jumps from 0
+	// to 5000, so each bracket collapses to an endpoint.
+	for j, pv := range pivots {
+		if pv != 41 && pv != 42 {
+			t.Fatalf("pivot %d = %d; want the duplicate plateau boundary", j, pv)
+		}
+	}
+}
+
+func TestDuplicatePlateauBound(t *testing.T) {
+	// Half the mass on one key, the rest uniform: the plateau pivot's
+	// error is bounded by the multiplicity, everything else is tight.
+	keys := uniformKeys(20000, 3)
+	for i := 0; i < 20000; i++ {
+		keys = append(keys, 1<<30)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	targets := evenTargets(int64(len(keys)), 16)
+	pivots, _ := drive(t, keys, targets, 40)
+	checkBound(t, keys, targets, pivots, 40)
+}
+
+func TestEmptyInput(t *testing.T) {
+	r, err := NewRefiner(Config{Targets: []int64{0, 0, 0}, Total: 0, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() || r.Candidates() != nil || r.Rounds() != 0 {
+		t.Fatal("empty input should resolve in zero rounds")
+	}
+	for _, pv := range r.Pivots() {
+		if pv != 0 {
+			t.Fatalf("empty-input pivot %d", pv)
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r, err := NewRefiner(Config{Targets: nil, Total: 100, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() || len(r.Pivots()) != 0 {
+		t.Fatal("p=1 should need no refinement")
+	}
+}
+
+func TestPivotsMonotone(t *testing.T) {
+	keys := make([]record.Key, 0, 30000)
+	rng := rand.New(rand.NewSource(7))
+	// Staircase-ish: a few fat plateaus force endpoint collapses whose
+	// raw brackets can cross within tolerance.
+	for i := 0; i < 30000; i++ {
+		keys = append(keys, record.Key(rng.Intn(4)*1000))
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	targets := evenTargets(int64(len(keys)), 64)
+	pivots, _ := drive(t, keys, targets, 5)
+	for j := 1; j < len(pivots); j++ {
+		if pivots[j] < pivots[j-1] {
+			t.Fatalf("pivots not monotone at %d: %d < %d", j, pivots[j], pivots[j-1])
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	if _, err := NewRefiner(Config{Targets: []int64{5}, Total: 3}); err == nil {
+		t.Fatal("target beyond total accepted")
+	}
+	if _, err := NewRefiner(Config{Targets: []int64{3, 1}, Total: 5}); err == nil {
+		t.Fatal("decreasing targets accepted")
+	}
+	if _, err := NewRefiner(Config{Total: -1}); err == nil {
+		t.Fatal("negative total accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	r, err := NewRefiner(Config{Targets: []int64{50}, Total: 100, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := r.Candidates()
+	if err := r.Observe(cands, nil); err == nil {
+		t.Fatal("mismatched rank slice accepted")
+	}
+	if err := r.Observe([]record.Key{^record.Key(0) - 1}, []int64{10}); err == nil {
+		t.Fatal("ranks for the wrong candidates accepted")
+	}
+}
+
+func TestCountCodecRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 1 << 31, 1<<40 + 12345, 1<<62 - 1}
+	got := DecodeCounts(EncodeCounts(vals))
+	if len(got) != len(vals) {
+		t.Fatalf("len %d != %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("vals[%d]: %d != %d", i, got[i], vals[i])
+		}
+	}
+	sum := DecodeCounts(AddCounts(EncodeCounts([]int64{1 << 33, 7}), EncodeCounts([]int64{1 << 33, 5})))
+	if sum[0] != 1<<34 || sum[1] != 12 {
+		t.Fatalf("AddCounts = %v", sum)
+	}
+}
+
+// TestWorstCaseRounds drives an adversarial plateau structure and
+// asserts the midpoint-fallback round bound holds with tolerance 1.
+func TestWorstCaseRounds(t *testing.T) {
+	keys := make([]record.Key, 0, 1<<16)
+	// Exponentially spaced singleton keys: interpolation overshoots
+	// every round until the fallback kicks in.
+	for i := 0; i < 31; i++ {
+		for j := 0; j < 1<<11; j++ {
+			keys = append(keys, record.Key(1)<<i)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	targets := evenTargets(int64(len(keys)), 32)
+	_, rounds := drive(t, keys, targets, 1)
+	if rounds > DefaultMaxRounds {
+		t.Fatalf("refinement needed %d rounds (cap %d)", rounds, DefaultMaxRounds)
+	}
+}

@@ -151,7 +151,7 @@ func sortRegular(n *cluster.Node, cfg Config, portion []record.Key) ([]record.Ke
 	// Phase 2: perf-proportional regular samples, gathered on node 0.
 	var samples []record.Key
 	if p > 1 {
-		spacing, _, err := sampling.HeteroSpacing(int64(len(local)), cfg.Perf[id], p)
+		spacing, _, err := sampling.HeteroSpacing(id, int64(len(local)), cfg.Perf[id], p)
 		if err != nil {
 			// Portion too small for regular spacing: sample everything.
 			samples = append([]record.Key(nil), local...)

@@ -21,8 +21,12 @@ func sortQuantiles(n *cluster.Node, cfg Config, portion []record.Key) ([]record.
 	p, id := n.P(), n.ID()
 
 	// Build the sketch over the unsorted data (one streaming pass).
+	// Only the exact zero value means "unset": the old `eps <= 0` test
+	// silently defaulted negatives but waved NaN through to the sketch
+	// (NaN comparisons are false).  Now every other value — NaN
+	// included — reaches quantile.New, whose range check rejects it.
 	eps := cfg.QuantileEps
-	if eps <= 0 {
+	if eps == 0 {
 		eps = 0.01
 	}
 	sk, err := quantile.New(eps)
@@ -33,14 +37,12 @@ func sortQuantiles(n *cluster.Node, cfg Config, portion []record.Key) ([]record.
 	n.ChargeCompute(int64(len(portion))) // ~O(1) amortised per insert
 
 	// Serialise as (values, weights) and gather on node 0.  Weights
-	// are shipped as keys (they fit: portions are < 2^32).
+	// normally fit a key (portions are < 2^32); a wider weight is a
+	// surfaced error, never a silent clamp.
 	vals, weights := sk.Export()
-	wk := make([]record.Key, len(weights))
-	for i, w := range weights {
-		if w > int64(^record.Key(0)) {
-			return nil, fmt.Errorf("psrs: sketch weight %d overflows the wire format", w)
-		}
-		wk[i] = record.Key(w)
+	wk, err := quantile.WeightsToKeys(weights)
+	if err != nil {
+		return nil, fmt.Errorf("psrs: exporting sketch weights: %w", err)
 	}
 	gv, err := n.Gather(0, tagQVals, vals)
 	if err != nil {

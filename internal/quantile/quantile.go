@@ -38,9 +38,12 @@ type Summary struct {
 	buffer []record.Key
 }
 
-// New returns an empty summary with error bound eps in (0, 1).
+// New returns an empty summary with error bound eps in (0, 1).  The
+// range check is written in negated form so NaN — for which both
+// eps <= 0 and eps >= 1 are false — is rejected rather than producing a
+// summary that never compresses.
 func New(eps float64) (*Summary, error) {
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		return nil, fmt.Errorf("quantile: eps=%v out of (0,1)", eps)
 	}
 	return &Summary{eps: eps}, nil
@@ -208,6 +211,21 @@ func (s *Summary) Export() (values []record.Key, weights []int64) {
 		weights[i] = t.g
 	}
 	return values, weights
+}
+
+// WeightsToKeys converts exported weights to wire keys for the
+// key-slice collectives, surfacing overflow as an error: a weight wider
+// than the 32-bit wire format would otherwise truncate silently and
+// corrupt every rank the merged sketch answers.
+func WeightsToKeys(weights []int64) ([]record.Key, error) {
+	out := make([]record.Key, len(weights))
+	for i, w := range weights {
+		if w < 0 || w > int64(^record.Key(0)) {
+			return nil, fmt.Errorf("quantile: weight %d overflows the 32-bit wire format", w)
+		}
+		out[i] = record.Key(w)
+	}
+	return out, nil
 }
 
 // FromExport rebuilds a summary from Export output.

@@ -1,6 +1,7 @@
 package quantile
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -45,13 +46,30 @@ func checkAccuracy(t *testing.T, s *Summary, keys []record.Key, eps float64) {
 }
 
 func TestNewValidation(t *testing.T) {
-	for _, eps := range []float64{0, 1, -0.5, 1.5} {
+	// NaN must be rejected too: every comparison against NaN is
+	// false, so the check is written as !(eps > 0 && eps < 1).
+	for _, eps := range []float64{0, 1, -0.5, 1.5, math.NaN(), math.Inf(1)} {
 		if _, err := New(eps); err == nil {
 			t.Errorf("eps=%v accepted", eps)
 		}
 	}
 	if _, err := New(0.01); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWeightsToKeysOverflow(t *testing.T) {
+	ok, err := WeightsToKeys([]int64{0, 1, 1 << 31, 1<<32 - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 4 || ok[2] != record.Key(1<<31) || ok[3] != record.Key(1<<32-1) {
+		t.Fatalf("round trip: %v", ok)
+	}
+	for _, w := range []int64{1 << 32, 1 << 33, -1} {
+		if _, err := WeightsToKeys([]int64{1, w}); err == nil {
+			t.Errorf("weight %d silently clamped", w)
+		}
 	}
 }
 

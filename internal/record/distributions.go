@@ -35,9 +35,28 @@ const (
 	// Staggered is the staggered distribution of Li & Sevcik: block i
 	// holds values that interleave adversarially for naive splitters.
 	Staggered
+	// HeavyDup draws from only a handful of distinct values, so almost
+	// every key is a duplicate and rank intervals around the pivots
+	// cannot shrink (the histogram refiner's plateau case).
+	HeavyDup
+	// ZipfS2 is Zipf with exponent s=2: far heavier skew than Zipf,
+	// a majority of the input collapses onto the smallest key.
+	ZipfS2
+	// Staircase concentrates the input on p narrow plateaus separated
+	// by wide empty gaps, so interpolation between histogram bounds
+	// repeatedly lands in empty space.
+	Staircase
+	// SamplerKiller hides half the mass in narrow spikes placed just
+	// after the positions a regular sampler probes, so regular samples
+	// systematically miss it while rank histograms cannot.
+	SamplerKiller
 
-	// NumDistributions is the size of the benchmark suite.
-	NumDistributions = 8
+	// NumDistributions is the size of the benchmark suite: the paper's
+	// eight plus the four adversarial pivot-stress inputs.
+	NumDistributions = 12
+	// NumPaperDistributions is the size of the paper's original suite
+	// (Uniform through Staggered).
+	NumPaperDistributions = 8
 )
 
 // Distributions lists the whole suite in benchmark order.
@@ -47,6 +66,13 @@ func Distributions() []Distribution {
 		ds[i] = Distribution(i)
 	}
 	return ds
+}
+
+// PaperDistributions lists the paper's original eight-benchmark suite,
+// excluding the adversarial pivot-stress inputs; the section-3
+// invariance claim (experiment E10) is stated over these.
+func PaperDistributions() []Distribution {
+	return Distributions()[:NumPaperDistributions]
 }
 
 func (d Distribution) String() string {
@@ -67,6 +93,14 @@ func (d Distribution) String() string {
 		return "bucket"
 	case Staggered:
 		return "staggered"
+	case HeavyDup:
+		return "heavy-dup"
+	case ZipfS2:
+		return "zipf-s2"
+	case Staircase:
+		return "staircase"
+	case SamplerKiller:
+		return "sampler-killer"
 	default:
 		return fmt.Sprintf("distribution(%d)", int(d))
 	}
@@ -153,6 +187,48 @@ func (d Distribution) Generate(n int, seed int64, parts int) []Key {
 			}
 			rangeIdx := uint64((2*blk + 1) % parts)
 			out[i] = Key(rangeIdx*width + uint64(r.Uint32())%max64(width, 1))
+		}
+	case HeavyDup:
+		// Five distinct values spread over the range: ~n/5 copies
+		// each, so no pivot interval between two of them can shrink.
+		const distinct = 5
+		step := uint64(math.MaxUint32) / distinct
+		for i := range out {
+			out[i] = Key(uint64(r.Intn(distinct)) * step)
+		}
+	case ZipfS2:
+		// Exponent 2 instead of 1.2: the mode alone holds a majority
+		// of the keys.
+		z := rand.NewZipf(r, 2.0, 1, 1<<16-1)
+		for i := range out {
+			out[i] = Key(z.Uint64() << 12)
+		}
+	case Staircase:
+		// parts narrow plateaus separated by wide empty gaps; an
+		// interpolating splitter search keeps landing in the gaps.
+		pp := max(parts, 2)
+		width := uint64(math.MaxUint32) / uint64(pp)
+		band := max64(width/4096, 1)
+		for i := range out {
+			b := uint64(r.Intn(pp))
+			out[i] = Key(b*width + width/2 + uint64(r.Uint32())%band)
+		}
+	case SamplerKiller:
+		// Half the keys repeat parts "magnet" values that regular
+		// samples of the sorted portions cluster on; the other half
+		// hides in a hair-thin spike just above each magnet, so
+		// position-based samplers undercount it while value-domain
+		// rank histograms see it exactly.
+		pp := max(parts, 2)
+		width := uint64(math.MaxUint32) / uint64(pp)
+		spike := max64(width/1024, 1)
+		for i := range out {
+			b := uint64(r.Intn(pp))
+			if i%2 == 0 {
+				out[i] = Key(b * width)
+			} else {
+				out[i] = Key(b*width + 1 + uint64(r.Uint32())%spike)
+			}
 		}
 	default:
 		panic(fmt.Sprintf("record: unknown distribution %d", int(d)))

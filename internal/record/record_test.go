@@ -120,7 +120,7 @@ func TestChecksumCombineMatchesUnion(t *testing.T) {
 
 func TestDistributionsSuiteSize(t *testing.T) {
 	ds := Distributions()
-	if len(ds) != NumDistributions || NumDistributions != 8 {
+	if len(ds) != NumDistributions || NumDistributions != 12 {
 		t.Fatalf("suite size %d", len(ds))
 	}
 	seen := map[string]bool{}
@@ -212,6 +212,79 @@ func TestZipfHasManyDuplicates(t *testing.T) {
 	}
 	if len(distinct) > len(a)/2 {
 		t.Fatalf("zipf not duplicate-heavy: %d distinct of %d", len(distinct), len(a))
+	}
+}
+
+func countDistinct(a []Key) int {
+	distinct := map[Key]bool{}
+	for _, k := range a {
+		distinct[k] = true
+	}
+	return len(distinct)
+}
+
+func TestHeavyDupHasFewDistinctValues(t *testing.T) {
+	a := HeavyDup.Generate(10000, 11, 4)
+	if d := countDistinct(a); d > 5 {
+		t.Fatalf("heavy-dup has %d distinct values, want <= 5", d)
+	}
+}
+
+func TestZipfS2SkewExceedsZipf(t *testing.T) {
+	mode := func(a []Key) int {
+		counts := map[Key]int{}
+		best := 0
+		for _, k := range a {
+			counts[k]++
+			if counts[k] > best {
+				best = counts[k]
+			}
+		}
+		return best
+	}
+	const n = 20000
+	s2 := mode(ZipfS2.Generate(n, 13, 4))
+	s12 := mode(Zipf.Generate(n, 13, 4))
+	if s2 <= s12 {
+		t.Fatalf("zipf-s2 mode %d not heavier than zipf's %d", s2, s12)
+	}
+	if s2 < n/2 {
+		t.Fatalf("zipf-s2 mode holds %d of %d keys, want a majority", s2, n)
+	}
+}
+
+func TestStaircaseLeavesWideGaps(t *testing.T) {
+	const parts = 4
+	a := Staircase.Generate(10000, 17, parts)
+	width := uint64(1<<32-1) / parts
+	for i, k := range a {
+		off := uint64(k) % width
+		if off < width/2 || off > width/2+width/4096 {
+			t.Fatalf("key %d (%d) off the plateau: offset %d", i, k, off)
+		}
+	}
+}
+
+func TestSamplerKillerHidesHalfTheMass(t *testing.T) {
+	const parts = 8
+	a := SamplerKiller.Generate(10000, 19, parts)
+	width := uint64(1<<32-1) / parts
+	magnets, hidden := 0, 0
+	for _, k := range a {
+		if uint64(k)%width == 0 {
+			magnets++
+		} else {
+			hidden++
+		}
+	}
+	if magnets < len(a)/3 || hidden < len(a)/3 {
+		t.Fatalf("magnet/hidden split %d/%d not near half-and-half", magnets, hidden)
+	}
+	// The hidden mass sits in a hair-thin spike above each magnet.
+	for _, k := range a {
+		if off := uint64(k) % width; off > width/1024+1 {
+			t.Fatalf("key %d outside magnet+spike band (offset %d)", k, off)
+		}
 	}
 }
 

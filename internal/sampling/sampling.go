@@ -34,16 +34,34 @@ func RegularSampleIndices(n, spacing int64) []int64 {
 	return idx
 }
 
+// SpacingError reports that a node's portion cannot support regular
+// sampling: the spacing l_i/(perf[i]·p) rounds to zero, which happens at
+// large p × small portions (each node would owe more samples than it
+// holds keys).  Callers typically fall back to shipping the whole
+// portion as samples; the structured fields let them say exactly which
+// node hit the wall and why.
+type SpacingError struct {
+	Node    int   // node id (-1 when unknown to the caller)
+	Portion int64 // the node's key count l_i
+	Perf    int   // the node's perf entry
+	P       int   // cluster size
+}
+
+func (e *SpacingError) Error() string {
+	return fmt.Sprintf("sampling: node %d portion %d too small for regular sampling (needs >= perf*p = %d*%d = %d keys)",
+		e.Node, e.Portion, e.Perf, e.P, int64(e.Perf)*int64(e.P))
+}
+
 // HeteroSpacing returns node i's sample spacing l_i/(perf[i]*p) and the
-// number of samples that produces.  It errors when the portion is too
-// small to sample.
-func HeteroSpacing(li int64, perfI, p int) (spacing int64, count int, err error) {
+// number of samples that produces.  It returns a *SpacingError when the
+// portion is too small to sample regularly.
+func HeteroSpacing(node int, li int64, perfI, p int) (spacing int64, count int, err error) {
 	if perfI <= 0 || p <= 0 {
 		return 0, 0, fmt.Errorf("sampling: bad perf=%d p=%d", perfI, p)
 	}
 	spacing = li / (int64(perfI) * int64(p))
 	if spacing <= 0 {
-		return 0, 0, fmt.Errorf("sampling: portion %d too small for perf=%d p=%d", li, perfI, p)
+		return 0, 0, &SpacingError{Node: node, Portion: li, Perf: perfI, P: p}
 	}
 	return spacing, len(RegularSampleIndices(li, spacing)), nil
 }

@@ -1,7 +1,9 @@
 package sampling
 
 import (
+	"errors"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -66,7 +68,7 @@ func TestHeteroSpacingEqualAcrossNodes(t *testing.T) {
 	shares := v.Shares(16777220)
 	spacings := make([]int64, len(v))
 	for i := range v {
-		s, count, err := HeteroSpacing(shares[i], v[i], len(v))
+		s, count, err := HeteroSpacing(i, shares[i], v[i], len(v))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +86,33 @@ func TestHeteroSpacingEqualAcrossNodes(t *testing.T) {
 }
 
 func TestHeteroSpacingErrors(t *testing.T) {
-	if _, _, err := HeteroSpacing(10, 0, 4); err == nil {
+	if _, _, err := HeteroSpacing(0, 10, 0, 4); err == nil {
 		t.Error("perf=0 accepted")
 	}
-	if _, _, err := HeteroSpacing(3, 1, 4); err == nil {
+	if _, _, err := HeteroSpacing(0, 3, 1, 4); err == nil {
 		t.Error("tiny portion accepted")
+	}
+}
+
+func TestSpacingErrorStructured(t *testing.T) {
+	// The large-p × small-portion regime: the error must be a typed
+	// *SpacingError naming node, portion, perf and p, so callers can
+	// both branch on it and report it usefully.
+	_, _, err := HeteroSpacing(937, 500, 2, 1024)
+	if err == nil {
+		t.Fatal("500-key portion accepted at p=1024")
+	}
+	var se *SpacingError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *SpacingError", err)
+	}
+	if se.Node != 937 || se.Portion != 500 || se.Perf != 2 || se.P != 1024 {
+		t.Fatalf("fields %+v do not round-trip the call site", se)
+	}
+	for _, want := range []string{"node 937", "portion 500", "2*1024"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
 	}
 }
 

@@ -88,6 +88,13 @@ type Report struct {
 	// steps (barrier to barrier; empty per-node entries for algorithms
 	// without a step structure).
 	StepBreakdown [5][]TimeBreakdown
+	// PivotRounds is the number of step-2 collective rounds (1 for the
+	// one-shot pivot strategies, the refinement round count for
+	// PivotHistogram).
+	PivotRounds int
+	// PivotSampleKeys is the number of key-valued samples shipped
+	// through the step-2 collectives (see extsort.Result).
+	PivotSampleKeys int64
 	// NodeMetrics is each node's metrics-registry snapshot: link
 	// traffic, merge-kernel counters, queue depths, checkpoint commit
 	// latencies (see internal/metrics).
@@ -121,12 +128,14 @@ func (r *Report) attachMetrics(c *cluster.Cluster) {
 
 func newReport(res *extsort.Result, v perf.Vector) *Report {
 	r := &Report{
-		Time:           res.Time,
-		StepTimes:      res.StepTimes,
-		StepNames:      extsort.StepNames,
-		PartitionSizes: res.PartitionSizes,
-		NodeClocks:     res.NodeClocks,
-		Perf:           append([]int(nil), v...),
+		Time:            res.Time,
+		StepTimes:       res.StepTimes,
+		StepNames:       extsort.StepNames,
+		PartitionSizes:  res.PartitionSizes,
+		NodeClocks:      res.NodeClocks,
+		Perf:            append([]int(nil), v...),
+		PivotRounds:     res.PivotRounds,
+		PivotSampleKeys: res.PivotSampleKeys,
 	}
 	if e, err := sampling.WeightedExpansion(res.PartitionSizes, v); err == nil {
 		r.SublistExpansion = e
